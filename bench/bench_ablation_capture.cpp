@@ -1,0 +1,137 @@
+// Ablation over the Fig. 5 capture hardware parameters: NDF reconstruction
+// error versus master clock frequency, and counter-overflow / missed-zone
+// behaviour versus counter width m. Then benchmarks the capture kernel.
+
+#include <cmath>
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "capture/capture_unit.h"
+#include "capture/fault_injection.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/ndf.h"
+#include "core/paper_setup.h"
+#include "core/pipeline.h"
+#include "monitor/table1.h"
+#include "report/figure.h"
+
+namespace {
+
+using namespace xysig;
+
+void print_reproduction(std::ostream& out) {
+    out << "=== [ablationB] Capture quantisation: f_clk and counter width ===\n";
+
+    core::PipelineOptions opts;
+    opts.samples_per_period = 8192;
+    core::SignaturePipeline pipe(monitor::build_table1_bank(),
+                                 core::paper_stimulus(), opts);
+    const filter::BehaviouralCut golden(core::paper_biquad());
+    const filter::BehaviouralCut defective(
+        core::paper_biquad().with_f0_shift(0.10));
+    const auto ideal_golden = pipe.chronogram(golden);
+    const auto ideal_defect = pipe.chronogram(defective);
+    const double ndf_ideal = core::ndf(ideal_defect, ideal_golden);
+
+    out << "ideal (unquantised) NDF(+10% f0) = " << format_double(ndf_ideal, 5)
+        << "\n\n";
+
+    // Sweep the master clock at a wide counter.
+    report::Figure fig("ablationB1", "NDF error vs master clock", "f_clk (MHz)",
+                       "|NDF - ideal|");
+    report::Series s;
+    s.name = "quantisation error";
+    TextTable clk_table(
+        {"f_clk (MHz)", "NDF", "|error|", "golden entries", "missed zones"});
+    for (double f_mhz : {0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0}) {
+        const capture::CaptureUnit unit({.f_clk = f_mhz * 1e6, .counter_bits = 32});
+        const auto cap_g = unit.capture(ideal_golden);
+        const auto cap_d = unit.capture(ideal_defect);
+        const double v =
+            core::ndf(cap_d.signature.to_chronogram(), cap_g.signature.to_chronogram());
+        const double err = std::abs(v - ndf_ideal);
+        s.xs.push_back(f_mhz);
+        s.ys.push_back(err);
+        clk_table.add_row({format_double(f_mhz, 4), format_double(v, 5),
+                           format_double(err, 5),
+                           std::to_string(cap_g.signature.size()),
+                           std::to_string(cap_g.missed_zones + cap_d.missed_zones)});
+    }
+    fig.add_series(std::move(s));
+    clk_table.print(out);
+    fig.print(out);
+
+    // Counter width at the paper-like 10 MHz clock: dwells up to ~40 us are
+    // 400 ticks, so m < 9 bits overflows.
+    out << "\ncounter width sweep at f_clk = 10 MHz (longest golden dwell sets "
+           "the requirement):\n";
+    TextTable m_table({"m (bits)", "overflow events", "reconstruction"});
+    for (unsigned m : {4u, 6u, 8u, 9u, 10u, 12u, 16u, 20u}) {
+        const capture::CaptureUnit unit({.f_clk = 10e6, .counter_bits = m});
+        const auto cap = unit.capture(ideal_golden);
+        std::string recon = "ok";
+        try {
+            (void)cap.signature.to_chronogram();
+        } catch (const Error&) {
+            recon = "REFUSED (corrupted time registers)";
+        }
+        m_table.add_row({std::to_string(m), std::to_string(cap.overflow_events),
+                         recon});
+    }
+    m_table.print(out);
+
+    // Tester self-faults (extension): a stuck monitor line is visible as a
+    // golden self-NDF; a swapped bus pair does not change the verdict.
+    out << "\ntester fault injection (extension):\n";
+    TextTable f_table({"fault", "golden self-NDF", "NDF(+10% f0) under fault"});
+    for (unsigned bit : {0u, 2u, 5u}) {
+        const auto g_f = capture::apply_stuck_bit(
+            ideal_golden, {.bit_index = bit, .stuck_value = true});
+        const auto d_f = capture::apply_stuck_bit(
+            ideal_defect, {.bit_index = bit, .stuck_value = true});
+        f_table.add_row({"bit " + std::to_string(bit) + " stuck-1",
+                         format_double(core::ndf(g_f, ideal_golden), 4),
+                         format_double(core::ndf(d_f, g_f), 4)});
+    }
+    {
+        const auto g_f = capture::apply_swapped_bits(ideal_golden, 1, 4);
+        const auto d_f = capture::apply_swapped_bits(ideal_defect, 1, 4);
+        f_table.add_row({"bus lines 1<->4 swapped",
+                         format_double(core::ndf(g_f, ideal_golden), 4),
+                         format_double(core::ndf(d_f, g_f), 4)});
+    }
+    f_table.print(out);
+
+    report::PaperComparison cmp("Fig. 5 capture parameters (ablation)");
+    cmp.add("quantisation", "asynchronous capture at master clock",
+            "error falls ~1/f_clk; < 1e-3 NDF above ~5 MHz", "");
+    cmp.add("counter width m", "m-bit counter holds the interval",
+            "m >= 9 bits needed at 10 MHz for this CUT",
+            "longest dwell ~40 us = 400 ticks");
+    cmp.print(out);
+}
+
+void BM_CaptureAtClock(benchmark::State& state) {
+    core::PipelineOptions opts;
+    opts.samples_per_period = 8192;
+    core::SignaturePipeline pipe(monitor::build_table1_bank(),
+                                 core::paper_stimulus(), opts);
+    const auto ideal =
+        pipe.chronogram(filter::BehaviouralCut(core::paper_biquad()));
+    const capture::CaptureUnit unit(
+        {.f_clk = static_cast<double>(state.range(0)) * 1e6, .counter_bits = 32});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(unit.capture(ideal));
+}
+BENCHMARK(BM_CaptureAtClock)->Arg(1)->Arg(10)->Arg(100);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_reproduction(std::cout);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,106 @@
+// Reproduces Fig. 8: normalized discrepancy factor versus % defect in f0
+// over -20%..+20%, with the PASS/FAIL tolerance bands. Then benchmarks the
+// sweep driver.
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common/strings.h"
+#include "core/decision.h"
+#include "core/paper_setup.h"
+#include "core/sweep.h"
+#include "monitor/table1.h"
+#include "report/figure.h"
+
+namespace {
+
+using namespace xysig;
+
+core::SignaturePipeline make_pipeline(std::size_t samples) {
+    core::PipelineOptions opts;
+    opts.samples_per_period = samples;
+    return core::SignaturePipeline(monitor::build_table1_bank(),
+                                   core::paper_stimulus(), opts);
+}
+
+void print_reproduction(std::ostream& out) {
+    out << "=== [fig8] NDF vs f0 deviation, PASS/FAIL bands ===\n";
+    core::SignaturePipeline pipe = make_pipeline(8192);
+
+    std::vector<double> devs;
+    for (int d = -20; d <= 20; ++d)
+        devs.push_back(d);
+    const auto sweep = core::deviation_sweep(pipe, core::paper_biquad(), devs);
+
+    report::Figure fig("fig8", "NDF vs % defect in f0", "% of defect", "NDF");
+    report::Series s;
+    s.name = "NDF";
+    for (const auto& p : sweep) {
+        s.xs.push_back(p.deviation_percent);
+        s.ys.push_back(p.ndf_value);
+    }
+    fig.add_series(std::move(s));
+    fig.print(out);
+
+    const auto shape = core::analyse_sweep(sweep);
+    const auto thr10 = core::NdfThreshold::from_sweep(sweep, 10.0);
+    const auto thr5 = core::NdfThreshold::from_sweep(sweep, 5.0);
+
+    out << "PASS/FAIL: tolerance +/-10% -> NDF threshold "
+        << format_double(thr10.threshold(), 4) << "; tolerance +/-5% -> "
+        << format_double(thr5.threshold(), 4) << "\n";
+    out << "example decisions at +/-10% band: dev=+3% -> "
+        << (thr10.classify(sweep[23].ndf_value) == core::TestOutcome::pass
+                ? "PASS"
+                : "FAIL")
+        << ", dev=+15% -> "
+        << (thr10.classify(sweep[35].ndf_value) == core::TestOutcome::pass
+                ? "PASS"
+                : "FAIL")
+        << "\n";
+
+    report::PaperComparison cmp("Fig. 8");
+    cmp.add("NDF(+10%)", "0.1021", sweep[30].ndf_value, "");
+    cmp.add("NDF(-10%)", "~0.10 (read from Fig. 8)", sweep[10].ndf_value, "");
+    cmp.add("NDF(+/-20%) range", "~0.18-0.20 (read from Fig. 8)",
+            format_double(sweep[0].ndf_value, 3) + " / " +
+                format_double(sweep[40].ndf_value, 3),
+            "");
+    cmp.add("linearity", "increases almost linearly",
+            "r^2 = " + format_double(shape.r_squared, 4), "|dev| linear fit");
+    cmp.add("symmetry", "quite symmetrical",
+            "asymmetry = " + format_double(shape.asymmetry, 3),
+            "mean |NDF(+d)-NDF(-d)| / (2 mean NDF)");
+    cmp.add("slope", "~0.01 NDF per %",
+            format_double(shape.slope_per_percent, 3), "");
+    cmp.print(out);
+}
+
+void BM_DeviationSweep(benchmark::State& state) {
+    core::SignaturePipeline pipe =
+        make_pipeline(static_cast<std::size_t>(state.range(0)));
+    const std::vector<double> devs = {-10.0, -5.0, 0.0, 5.0, 10.0};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            core::deviation_sweep(pipe, core::paper_biquad(), devs));
+}
+BENCHMARK(BM_DeviationSweep)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_SingleNdfPoint(benchmark::State& state) {
+    core::SignaturePipeline pipe = make_pipeline(4096);
+    pipe.set_golden(filter::BehaviouralCut(core::paper_biquad()));
+    const filter::BehaviouralCut cut(core::paper_biquad().with_f0_shift(0.07));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pipe.ndf_of(cut));
+}
+BENCHMARK(BM_SingleNdfPoint)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_reproduction(std::cout);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

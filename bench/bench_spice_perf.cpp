@@ -1,0 +1,81 @@
+// Engine micro-benchmarks: the circuit-simulation substrate (DC, transient,
+// AC, MOSFET evaluation) and the comparator netlist. No paper figure here —
+// this quantifies the substrate the reproduction runs on.
+
+#include <benchmark/benchmark.h>
+
+#include "core/paper_setup.h"
+#include "filter/tow_thomas.h"
+#include "monitor/comparator_netlist.h"
+#include "monitor/table1.h"
+#include "spice/ac.h"
+#include "spice/dc.h"
+#include "spice/elements.h"
+#include "spice/transient.h"
+
+namespace {
+
+using namespace xysig;
+
+void BM_MosEvaluate(benchmark::State& state) {
+    spice::MosParams p;
+    p.w = 1.8e-6;
+    p.l = 180e-9;
+    double vgs = 0.1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(spice::mos_evaluate(p, vgs, 0.6));
+        vgs = (vgs < 1.1) ? vgs + 0.001 : 0.1;
+    }
+}
+BENCHMARK(BM_MosEvaluate);
+
+void BM_DcOperatingPoint_Comparator(benchmark::State& state) {
+    monitor::ComparatorCircuit ckt =
+        monitor::build_comparator(monitor::table1_config(3));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(monitor::comparator_differential(ckt, 0.3, 0.7));
+}
+BENCHMARK(BM_DcOperatingPoint_Comparator)->Unit(benchmark::kMicrosecond);
+
+void BM_TransientTowThomas(benchmark::State& state) {
+    const auto periods = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        filter::TowThomasCircuit ckt = filter::build_tow_thomas(
+            filter::TowThomasDesign::from_biquad(core::paper_biquad().design(), 10e3));
+        ckt.netlist.get<spice::VoltageSource>("Vin").set_waveform(
+            core::paper_stimulus());
+        spice::TransientOptions opts;
+        opts.t_stop = periods * 200e-6;
+        opts.dt = 200e-6 / 512;
+        benchmark::DoNotOptimize(spice::run_transient(ckt.netlist, opts));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            periods * 512);
+}
+BENCHMARK(BM_TransientTowThomas)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_AcSweepTowThomas(benchmark::State& state) {
+    filter::TowThomasCircuit ckt = filter::build_tow_thomas(
+        filter::TowThomasDesign::from_biquad(core::paper_biquad().design(), 10e3));
+    ckt.netlist.get<spice::VoltageSource>("Vin").set_ac(1.0);
+    spice::AcOptions opts;
+    opts.f_start = 100.0;
+    opts.f_stop = 1e6;
+    opts.points_per_decade = 20;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(spice::run_ac(ckt.netlist, opts));
+}
+BENCHMARK(BM_AcSweepTowThomas)->Unit(benchmark::kMillisecond);
+
+void BM_NewtonDcLadder(benchmark::State& state) {
+    // A deliberately awkward bias point to exercise the convergence ladder.
+    monitor::ComparatorCircuit ckt =
+        monitor::build_comparator(monitor::table1_config(6));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(monitor::comparator_differential(ckt, 0.5, 0.5));
+}
+BENCHMARK(BM_NewtonDcLadder)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Noise robustness study (paper Section IV-C) as a standalone tool:
+// sweeps the noise level and reports the minimum detectable f0 deviation
+// at each, reproducing and extending the paper's single data point
+// (3*sigma = 15 mV -> 1% detectable).
+
+#include <iostream>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/detectability.h"
+#include "core/paper_setup.h"
+#include "monitor/table1.h"
+
+int main() {
+    using namespace xysig;
+
+    core::PipelineOptions popts;
+    popts.samples_per_period = 4096;
+    core::SignaturePipeline pipeline(monitor::build_table1_bank(),
+                                     core::paper_stimulus(), popts);
+
+    const std::vector<double> deviations = {0.5, 1.0, 2.0, 5.0};
+
+    TextTable table({"noise 3*sigma (mV)", "noise floor NDF", "threshold",
+                     "min detectable |dev| (%)"});
+    for (const double three_sigma_mv : {5.0, 15.0, 30.0, 60.0}) {
+        core::DetectabilityOptions opts;
+        opts.trials = 12;
+        opts.periods_averaged = 16;
+        opts.noise_sigma = three_sigma_mv / 3.0 * 1e-3;
+        const auto study = core::noise_detectability(
+            pipeline, core::paper_biquad(), deviations, opts, 4242);
+        const double min_det = study.minimum_detectable();
+        table.add_row({format_double(three_sigma_mv, 3),
+                       format_double(study.noise_floor_mean, 4),
+                       format_double(study.threshold, 4),
+                       min_det == 0.0 ? ">5" : format_double(min_det, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\npaper's operating point: 3*sigma = 15 mV -> 1% detectable "
+                 "(second row).\n";
+    return 0;
+}

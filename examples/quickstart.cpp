@@ -1,0 +1,47 @@
+// Quickstart: the complete paper flow in ~40 lines.
+//
+// Build the six Table I monitors, drive the Biquad CUT with the two-tone
+// stimulus, capture digital signatures, and decide PASS/FAIL from the
+// normalized discrepancy factor.
+
+#include <iostream>
+
+#include "core/decision.h"
+#include "core/paper_setup.h"
+#include "core/sweep.h"
+#include "monitor/table1.h"
+
+int main() {
+    using namespace xysig;
+
+    // 1. The on-chip monitor bank (Table I) and the test stimulus.
+    core::PipelineOptions options;
+    options.samples_per_period = 4096;
+    core::SignaturePipeline pipeline(monitor::build_table1_bank(),
+                                     core::paper_stimulus(), options);
+
+    // 2. Golden signature from the nominal CUT (f0 = 14 kHz low-pass Biquad).
+    const filter::Biquad nominal = core::paper_biquad();
+    pipeline.set_golden(filter::BehaviouralCut(nominal));
+
+    // 3. Calibrate the PASS/FAIL band for a +/-10% f0 tolerance.
+    std::vector<double> grid;
+    for (int d = -20; d <= 20; d += 2)
+        grid.push_back(d);
+    const auto sweep = core::deviation_sweep(pipeline, nominal, grid);
+    const auto threshold = core::NdfThreshold::from_sweep(sweep, 10.0);
+    std::cout << "NDF threshold for +/-10% tolerance: " << threshold.threshold()
+              << "\n\n";
+
+    // 4. Test a few manufactured circuits.
+    for (const double dev_percent : {0.5, 3.0, 8.0, 12.0, -15.0}) {
+        const filter::BehaviouralCut cut(
+            nominal.with_f0_shift(dev_percent / 100.0));
+        const double ndf_value = pipeline.ndf_of(cut);
+        const bool pass =
+            threshold.classify(ndf_value) == core::TestOutcome::pass;
+        std::cout << "CUT with f0 deviation " << dev_percent << "%\tNDF = "
+                  << ndf_value << "\t-> " << (pass ? "PASS" : "FAIL") << "\n";
+    }
+    return 0;
+}

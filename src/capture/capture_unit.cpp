@@ -1,0 +1,68 @@
+#include "capture/capture_unit.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace xysig::capture {
+
+CaptureUnit::CaptureUnit(const CaptureOptions& options) : options_(options) {
+    XYSIG_EXPECTS(options.f_clk > 0.0);
+    XYSIG_EXPECTS(options.counter_bits >= 1 && options.counter_bits <= 64);
+}
+
+CaptureResult CaptureUnit::capture(const Chronogram& ideal) const {
+    const double tick = 1.0 / options_.f_clk;
+    const auto total_ticks =
+        static_cast<std::uint64_t>(std::llround(ideal.period() / tick));
+    XYSIG_EXPECTS(total_ticks >= 2);
+
+    const std::uint64_t wrap =
+        (options_.counter_bits >= 64) ? 0 : (std::uint64_t{1} << options_.counter_bits);
+
+    std::vector<SignatureEntry> entries;
+    int overflows = 0;
+
+    unsigned prev_code = ideal.code_at(0.0);
+    std::uint64_t dwell_ticks = 0;
+    for (std::uint64_t k = 1; k <= total_ticks; ++k) {
+        ++dwell_ticks;
+        // The detector compares the bus at every tick; at the period end the
+        // capture window closes and the running dwell is flushed. Sampling
+        // happens mid-tick so a code edge exactly on a tick boundary is not
+        // at the mercy of floating-point rounding (the hardware analogue:
+        // data is stable when the clock edge samples it).
+        const bool window_end = (k == total_ticks);
+        const unsigned code =
+            window_end ? prev_code
+                       : ideal.code_at((static_cast<double>(k) + 0.5) * tick);
+        if (code != prev_code || window_end) {
+            std::uint64_t stored = dwell_ticks;
+            if (wrap != 0 && stored >= wrap) {
+                stored %= wrap;
+                ++overflows;
+            }
+            entries.push_back({prev_code, stored});
+            prev_code = code;
+            dwell_ticks = 0;
+        }
+    }
+
+    // Zones the clock never saw: ideal visits minus captured entries (the
+    // capture can only lose visits, never invent them).
+    const int missed = static_cast<int>(ideal.zone_visits()) -
+                       static_cast<int>(entries.size());
+
+    CaptureResult result{Signature(options_.f_clk, options_.counter_bits,
+                                   ideal.code_bits(), std::move(entries),
+                                   total_ticks),
+                         overflows, missed < 0 ? 0 : missed};
+    return result;
+}
+
+CaptureResult CaptureUnit::capture(const XyTrace& trace,
+                                   const monitor::MonitorBank& bank) const {
+    return capture(Chronogram::from_trace(trace, bank));
+}
+
+} // namespace xysig::capture

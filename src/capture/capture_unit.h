@@ -1,0 +1,53 @@
+#ifndef XYSIG_CAPTURE_CAPTURE_UNIT_H
+#define XYSIG_CAPTURE_CAPTURE_UNIT_H
+
+/// \file capture_unit.h
+/// Behavioural model of the asynchronous capture of Fig. 5: the monitor
+/// code bus is watched by a transition detector; on every code change the
+/// m-bit counter value (ticks of the master clock since the previous
+/// change) is stored with the previous code, and the counter resets.
+///
+/// The model is cycle-accurate at master-clock granularity: codes are
+/// observed at clock ticks, so zones dwelt in for less than one tick are
+/// missed and dwells are quantised to the tick — exactly the error sources
+/// the real hardware has. Counter overflow wraps modulo 2^m (hardware-
+/// faithful) and is reported.
+
+#include "capture/signature.h"
+
+namespace xysig::capture {
+
+/// Hardware parameters of the capture unit.
+struct CaptureOptions {
+    double f_clk = 10e6;       ///< master clock (Hz)
+    unsigned counter_bits = 16;///< m of Fig. 5
+};
+
+/// Result of one capture run.
+struct CaptureResult {
+    Signature signature;
+    int overflow_events = 0; ///< dwells that wrapped the m-bit counter
+    int missed_zones = 0;    ///< ideal zone visits shorter than one tick
+};
+
+/// The capture hardware.
+class CaptureUnit {
+public:
+    explicit CaptureUnit(const CaptureOptions& options);
+
+    [[nodiscard]] const CaptureOptions& options() const noexcept { return options_; }
+
+    /// Captures one period of an ideal chronogram.
+    [[nodiscard]] CaptureResult capture(const Chronogram& ideal) const;
+
+    /// Convenience: trace -> ideal chronogram -> capture.
+    [[nodiscard]] CaptureResult capture(const XyTrace& trace,
+                                        const monitor::MonitorBank& bank) const;
+
+private:
+    CaptureOptions options_;
+};
+
+} // namespace xysig::capture
+
+#endif // XYSIG_CAPTURE_CAPTURE_UNIT_H

@@ -1,0 +1,60 @@
+#include "capture/chronogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace xysig::capture {
+
+Chronogram::Chronogram(double period, unsigned code_bits,
+                       std::vector<CodeEvent> events)
+    : period_(period), code_bits_(code_bits), events_(std::move(events)) {
+    XYSIG_EXPECTS(period > 0.0);
+    XYSIG_EXPECTS(code_bits >= 1 && code_bits <= 32);
+    XYSIG_EXPECTS(!events_.empty());
+    XYSIG_EXPECTS(events_.front().t == 0.0);
+    for (std::size_t i = 1; i < events_.size(); ++i) {
+        XYSIG_EXPECTS(events_[i].t > events_[i - 1].t);
+        XYSIG_EXPECTS(events_[i].code != events_[i - 1].code);
+    }
+    XYSIG_EXPECTS(events_.back().t < period);
+}
+
+unsigned Chronogram::code_at(double t) const {
+    double tf = std::fmod(t, period_);
+    if (tf < 0.0)
+        tf += period_;
+    // Last event with t <= tf.
+    const auto it = std::upper_bound(
+        events_.begin(), events_.end(), tf,
+        [](double lhs, const CodeEvent& ev) { return lhs < ev.t; });
+    XYSIG_ASSERT(it != events_.begin());
+    return (it - 1)->code;
+}
+
+double Chronogram::dwell(std::size_t i) const {
+    XYSIG_EXPECTS(i < events_.size());
+    const double t_next =
+        (i + 1 < events_.size()) ? events_[i + 1].t : period_ + events_.front().t;
+    return t_next - events_[i].t;
+}
+
+Chronogram Chronogram::from_trace(const XyTrace& trace,
+                                  const monitor::MonitorBank& bank) {
+    XYSIG_EXPECTS(trace.start_time() == 0.0);
+    const std::size_t n = trace.size();
+    std::vector<CodeEvent> events;
+    unsigned prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const unsigned code = bank.code(trace.x()[i], trace.y()[i]);
+        if (i == 0 || code != prev) {
+            events.push_back({trace.time_at(i), code});
+            prev = code;
+        }
+    }
+    const double period = trace.dt() * static_cast<double>(n);
+    return Chronogram(period, static_cast<unsigned>(bank.size()), std::move(events));
+}
+
+} // namespace xysig::capture

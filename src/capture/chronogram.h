@@ -1,0 +1,56 @@
+#ifndef XYSIG_CAPTURE_CHRONOGRAM_H
+#define XYSIG_CAPTURE_CHRONOGRAM_H
+
+/// \file chronogram.h
+/// Piecewise-constant zone-code functions of time over one Lissajous period
+/// — the S(t) functions the NDF metric integrates (paper Fig. 7).
+
+#include <vector>
+
+#include "monitor/monitor_bank.h"
+#include "signal/sampled.h"
+
+namespace xysig::capture {
+
+/// A code change: the zone code holds `code` from time t until the next
+/// event (or the period end, wrapping to the first event).
+struct CodeEvent {
+    double t = 0.0;
+    unsigned code = 0;
+};
+
+/// Zone code as a function of time on [0, period).
+class Chronogram {
+public:
+    /// events must be non-empty, start at t = 0, be strictly increasing and
+    /// end before `period`; consecutive events must change the code.
+    Chronogram(double period, unsigned code_bits, std::vector<CodeEvent> events);
+
+    [[nodiscard]] double period() const noexcept { return period_; }
+    [[nodiscard]] unsigned code_bits() const noexcept { return code_bits_; }
+    [[nodiscard]] const std::vector<CodeEvent>& events() const noexcept {
+        return events_;
+    }
+    [[nodiscard]] std::size_t zone_visits() const noexcept { return events_.size(); }
+
+    /// Code at time t (t folded into [0, period)).
+    [[nodiscard]] unsigned code_at(double t) const;
+
+    /// Dwell time of the i-th visit (to the next event, wrapping).
+    [[nodiscard]] double dwell(std::size_t i) const;
+
+    /// Builds the ideal (unquantised) chronogram of a trace through a
+    /// monitor bank: the code of every sample, run-length encoded. The trace
+    /// must start at t = 0 (one steady-state period).
+    static Chronogram from_trace(const XyTrace& trace,
+                                 const monitor::MonitorBank& bank);
+
+private:
+    double period_;
+    unsigned code_bits_;
+    std::vector<CodeEvent> events_;
+};
+
+} // namespace xysig::capture
+
+#endif // XYSIG_CAPTURE_CHRONOGRAM_H

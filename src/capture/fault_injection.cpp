@@ -1,0 +1,46 @@
+#include "capture/fault_injection.h"
+
+#include <functional>
+
+#include "common/contracts.h"
+
+namespace xysig::capture {
+
+namespace {
+
+/// Rebuilds a chronogram from mapped codes, merging equal neighbours.
+Chronogram remap(const Chronogram& ch, const std::function<unsigned(unsigned)>& f) {
+    std::vector<CodeEvent> events;
+    for (const auto& ev : ch.events()) {
+        const unsigned code = f(ev.code);
+        if (events.empty() || events.back().code != code)
+            events.push_back({ev.t, code});
+    }
+    return Chronogram(ch.period(), ch.code_bits(), std::move(events));
+}
+
+} // namespace
+
+Chronogram apply_stuck_bit(const Chronogram& ch, const StuckBitFault& fault) {
+    XYSIG_EXPECTS(fault.bit_index < ch.code_bits());
+    const unsigned mask = 1u << fault.bit_index;
+    return remap(ch, [&](unsigned code) {
+        return fault.stuck_value ? (code | mask) : (code & ~mask);
+    });
+}
+
+Chronogram apply_swapped_bits(const Chronogram& ch, unsigned bit_a, unsigned bit_b) {
+    XYSIG_EXPECTS(bit_a < ch.code_bits());
+    XYSIG_EXPECTS(bit_b < ch.code_bits());
+    XYSIG_EXPECTS(bit_a != bit_b);
+    return remap(ch, [&](unsigned code) {
+        const unsigned a = (code >> bit_a) & 1u;
+        const unsigned b = (code >> bit_b) & 1u;
+        unsigned out = code & ~((1u << bit_a) | (1u << bit_b));
+        out |= a << bit_b;
+        out |= b << bit_a;
+        return out;
+    });
+}
+
+} // namespace xysig::capture

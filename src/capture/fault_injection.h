@@ -1,0 +1,31 @@
+#ifndef XYSIG_CAPTURE_FAULT_INJECTION_H
+#define XYSIG_CAPTURE_FAULT_INJECTION_H
+
+/// \file fault_injection.h
+/// Faults of the test hardware itself (extension beyond the paper): what
+/// happens to the verdict when the monitor bus or the capture unit is
+/// defective? Used by the ablation bench to quantify tester-induced escapes
+/// and overkill.
+
+#include "capture/chronogram.h"
+
+namespace xysig::capture {
+
+/// A monitor output line stuck at 0 or 1.
+struct StuckBitFault {
+    unsigned bit_index = 0; ///< 0 = LSB of the zone code
+    bool stuck_value = false;
+};
+
+/// Applies a stuck line to every code of a chronogram. Adjacent events that
+/// become equal-coded are merged (the transition detector would not fire).
+[[nodiscard]] Chronogram apply_stuck_bit(const Chronogram& ch,
+                                         const StuckBitFault& fault);
+
+/// Two monitor lines swapped in the bus wiring (a layout/assembly defect).
+[[nodiscard]] Chronogram apply_swapped_bits(const Chronogram& ch, unsigned bit_a,
+                                            unsigned bit_b);
+
+} // namespace xysig::capture
+
+#endif // XYSIG_CAPTURE_FAULT_INJECTION_H

@@ -1,0 +1,41 @@
+#include "capture/signature.h"
+
+#include <numeric>
+
+#include "common/contracts.h"
+#include "common/error.h"
+
+namespace xysig::capture {
+
+Signature::Signature(double f_clk, unsigned counter_bits, unsigned code_bits,
+                     std::vector<SignatureEntry> entries, std::uint64_t total_ticks)
+    : f_clk_(f_clk), counter_bits_(counter_bits), code_bits_(code_bits),
+      entries_(std::move(entries)), total_ticks_(total_ticks) {
+    XYSIG_EXPECTS(f_clk > 0.0);
+    XYSIG_EXPECTS(counter_bits >= 1 && counter_bits <= 64);
+    XYSIG_EXPECTS(code_bits >= 1 && code_bits <= 32);
+    XYSIG_EXPECTS(total_ticks >= 1);
+}
+
+Chronogram Signature::to_chronogram() const {
+    XYSIG_EXPECTS(!entries_.empty());
+    const std::uint64_t sum = std::accumulate(
+        entries_.begin(), entries_.end(), std::uint64_t{0},
+        [](std::uint64_t acc, const SignatureEntry& e) { return acc + e.ticks; });
+    if (sum != total_ticks_)
+        throw NumericError("Signature::to_chronogram: entries do not tile the "
+                           "capture window (counter overflow corrupted the "
+                           "time registers)");
+
+    std::vector<CodeEvent> events;
+    events.reserve(entries_.size());
+    std::uint64_t t = 0;
+    for (const auto& e : entries_) {
+        XYSIG_EXPECTS(e.ticks >= 1);
+        events.push_back({static_cast<double>(t) * tick_period(), e.code});
+        t += e.ticks;
+    }
+    return Chronogram(duration(), code_bits_, std::move(events));
+}
+
+} // namespace xysig::capture

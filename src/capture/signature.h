@@ -1,0 +1,59 @@
+#ifndef XYSIG_CAPTURE_SIGNATURE_H
+#define XYSIG_CAPTURE_SIGNATURE_H
+
+/// \file signature.h
+/// The digital signature of Eq. (1): the sequence of (zone code Zi, dwell
+/// interval Di) pairs, with dwell measured in master-clock ticks by the
+/// m-bit counter of Fig. 5.
+
+#include <cstdint>
+#include <vector>
+
+#include "capture/chronogram.h"
+
+namespace xysig::capture {
+
+/// One captured (Zi, Di) pair. `ticks` is the value read from the m-bit
+/// time register, i.e. it may have wrapped if the dwell exceeded 2^m - 1.
+struct SignatureEntry {
+    unsigned code = 0;
+    std::uint64_t ticks = 0;
+};
+
+/// A captured digital signature.
+class Signature {
+public:
+    Signature(double f_clk, unsigned counter_bits, unsigned code_bits,
+              std::vector<SignatureEntry> entries, std::uint64_t total_ticks);
+
+    [[nodiscard]] double f_clk() const noexcept { return f_clk_; }
+    [[nodiscard]] double tick_period() const noexcept { return 1.0 / f_clk_; }
+    [[nodiscard]] unsigned counter_bits() const noexcept { return counter_bits_; }
+    [[nodiscard]] unsigned code_bits() const noexcept { return code_bits_; }
+    [[nodiscard]] const std::vector<SignatureEntry>& entries() const noexcept {
+        return entries_;
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+    /// Length of the captured window in ticks / seconds (one Lissajous
+    /// period as seen by the capture clock).
+    [[nodiscard]] std::uint64_t total_ticks() const noexcept { return total_ticks_; }
+    [[nodiscard]] double duration() const noexcept {
+        return static_cast<double>(total_ticks_) * tick_period();
+    }
+
+    /// Reconstructs the piecewise-constant code function. Only valid when no
+    /// counter overflow occurred (the entries then tile the full window).
+    [[nodiscard]] Chronogram to_chronogram() const;
+
+private:
+    double f_clk_;
+    unsigned counter_bits_;
+    unsigned code_bits_;
+    std::vector<SignatureEntry> entries_;
+    std::uint64_t total_ticks_;
+};
+
+} // namespace xysig::capture
+
+#endif // XYSIG_CAPTURE_SIGNATURE_H

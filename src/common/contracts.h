@@ -1,0 +1,38 @@
+#ifndef XYSIG_COMMON_CONTRACTS_H
+#define XYSIG_COMMON_CONTRACTS_H
+
+/// \file contracts.h
+/// Always-on, throwing contract checks (I.6/I.8-style Expects/Ensures).
+///
+/// The checks throw xysig::ContractError instead of aborting so that tests
+/// can assert on contract violations and callers embedding the library in a
+/// long-running tool can recover. They are deliberately kept enabled in all
+/// build types: every guarded expression in this library is O(1).
+
+#include "common/error.h"
+
+/// Precondition check: argument/state requirements at function entry.
+#define XYSIG_EXPECTS(expr)                                                      \
+    do {                                                                         \
+        if (!(expr))                                                             \
+            ::xysig::detail::throw_contract_violation("precondition", #expr,    \
+                                                      __FILE__, __LINE__);      \
+    } while (false)
+
+/// Postcondition check: guarantees at function exit.
+#define XYSIG_ENSURES(expr)                                                      \
+    do {                                                                         \
+        if (!(expr))                                                             \
+            ::xysig::detail::throw_contract_violation("postcondition", #expr,   \
+                                                      __FILE__, __LINE__);      \
+    } while (false)
+
+/// Invariant check inside algorithms ("this cannot happen" guard).
+#define XYSIG_ASSERT(expr)                                                       \
+    do {                                                                         \
+        if (!(expr))                                                             \
+            ::xysig::detail::throw_contract_violation("invariant", #expr,       \
+                                                      __FILE__, __LINE__);      \
+    } while (false)
+
+#endif // XYSIG_COMMON_CONTRACTS_H

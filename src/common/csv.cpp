@@ -1,0 +1,61 @@
+#include "common/csv.h"
+
+#include "common/contracts.h"
+#include "common/strings.h"
+
+namespace xysig {
+
+std::string csv_escape(const std::string& cell) {
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void CsvWriter::write_cells(std::span<const std::string> cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i != 0)
+            *out_ << ',';
+        *out_ << csv_escape(cells[i]);
+    }
+    *out_ << '\n';
+}
+
+void CsvWriter::write_header(std::span<const std::string> names) {
+    write_cells(names);
+}
+
+void CsvWriter::write_row(std::span<const std::string> cells) {
+    write_cells(cells);
+}
+
+void CsvWriter::write_row(std::span<const double> values) {
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values)
+        cells.push_back(format_double(v, 9));
+    write_cells(cells);
+}
+
+void CsvWriter::write_series(std::ostream& out, const std::string& x_name,
+                             std::span<const double> xs, const std::string& y_name,
+                             std::span<const double> ys) {
+    XYSIG_EXPECTS(xs.size() == ys.size());
+    CsvWriter w(out);
+    const std::string header[] = {x_name, y_name};
+    w.write_header(header);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double row[] = {xs[i], ys[i]};
+        w.write_row(row);
+    }
+}
+
+} // namespace xysig

@@ -1,0 +1,42 @@
+#ifndef XYSIG_COMMON_CSV_H
+#define XYSIG_COMMON_CSV_H
+
+/// \file csv.h
+/// Minimal CSV emission for benchmark series so figures can be re-plotted
+/// externally (gnuplot / matplotlib) from the bench output files.
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace xysig {
+
+/// Streams rows of mixed text/numeric cells as RFC-4180-ish CSV. Cells
+/// containing commas, quotes or newlines are quoted and escaped.
+class CsvWriter {
+public:
+    /// Writes to an externally owned stream; the writer never owns it.
+    explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+    void write_header(std::span<const std::string> names);
+    void write_row(std::span<const double> values);
+    void write_row(std::span<const std::string> cells);
+
+    /// Convenience: one labelled series, x column + y column.
+    static void write_series(std::ostream& out, const std::string& x_name,
+                             std::span<const double> xs, const std::string& y_name,
+                             std::span<const double> ys);
+
+private:
+    void write_cells(std::span<const std::string> cells);
+
+    std::ostream* out_;
+};
+
+/// Escapes a single CSV cell per RFC 4180.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+} // namespace xysig
+
+#endif // XYSIG_COMMON_CSV_H

@@ -1,0 +1,14 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace xysig::detail {
+
+void throw_contract_violation(const char* kind, const char* expr,
+                              const char* file, int line) {
+    std::ostringstream os;
+    os << kind << " violation: (" << expr << ") at " << file << ':' << line;
+    throw ContractError(os.str());
+}
+
+} // namespace xysig::detail

@@ -1,0 +1,54 @@
+#ifndef XYSIG_COMMON_ERROR_H
+#define XYSIG_COMMON_ERROR_H
+
+/// \file error.h
+/// Exception hierarchy for the xysig library.
+///
+/// All errors thrown by the library derive from xysig::Error so callers can
+/// catch library failures with a single handler while still distinguishing
+/// categories (contract violations, numerical failures, malformed input).
+
+#include <stdexcept>
+#include <string>
+
+namespace xysig {
+
+/// Root of the xysig exception hierarchy.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// A precondition, postcondition or invariant check failed.
+///
+/// Raised by the XYSIG_EXPECTS / XYSIG_ENSURES macros in contracts.h; carries
+/// the failing expression and source location in its message.
+class ContractError : public Error {
+public:
+    explicit ContractError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// A numerical procedure failed to produce a usable result
+/// (singular matrix, Newton-Raphson divergence, root bracketing failure...).
+class NumericError : public Error {
+public:
+    explicit NumericError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// Structurally invalid user input (bad netlist, malformed SPICE deck,
+/// inconsistent monitor configuration...).
+class InvalidInput : public Error {
+public:
+    explicit InvalidInput(const std::string& what_arg) : Error(what_arg) {}
+};
+
+namespace detail {
+/// Builds the message and throws ContractError. Out-of-line so the throw
+/// machinery is not inlined at every check site.
+[[noreturn]] void throw_contract_violation(const char* kind, const char* expr,
+                                           const char* file, int line);
+} // namespace detail
+
+} // namespace xysig
+
+#endif // XYSIG_COMMON_ERROR_H

@@ -1,0 +1,181 @@
+#ifndef XYSIG_COMMON_MATRIX_H
+#define XYSIG_COMMON_MATRIX_H
+
+/// \file matrix.h
+/// Dense row-major matrix and LU solver used by the MNA engine.
+///
+/// The matrices arising from the circuits in this project are small (tens of
+/// unknowns), so a dense LU with partial pivoting is both simpler and faster
+/// than a sparse solver at this scale. The template parameter supports both
+/// double (DC/transient) and std::complex<double> (AC analysis).
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/error.h"
+
+namespace xysig {
+
+/// Dense row-major matrix over T (double or std::complex<double>).
+template <typename T>
+class Matrix {
+public:
+    Matrix() = default;
+
+    Matrix(std::size_t rows, std::size_t cols, T init = T{})
+        : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+    [[nodiscard]] T& operator()(std::size_t r, std::size_t c) {
+        XYSIG_EXPECTS(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+    [[nodiscard]] const T& operator()(std::size_t r, std::size_t c) const {
+        XYSIG_EXPECTS(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    /// Sets every element to value (used to reuse an MNA matrix between
+    /// Newton iterations without reallocating).
+    void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+    /// Matrix-vector product. x.size() must equal cols().
+    [[nodiscard]] std::vector<T> multiply(const std::vector<T>& x) const {
+        XYSIG_EXPECTS(x.size() == cols_);
+        std::vector<T> y(rows_, T{});
+        for (std::size_t r = 0; r < rows_; ++r) {
+            T acc{};
+            const T* row = &data_[r * cols_];
+            for (std::size_t c = 0; c < cols_; ++c)
+                acc += row[c] * x[c];
+            y[r] = acc;
+        }
+        return y;
+    }
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<T> data_;
+};
+
+namespace detail {
+inline double lu_abs(double v) noexcept { return v < 0 ? -v : v; }
+inline double lu_abs(const std::complex<double>& v) noexcept { return std::abs(v); }
+} // namespace detail
+
+/// LU decomposition with partial pivoting (Doolittle, in-place).
+///
+/// Factorises a square matrix once, then solves any number of right-hand
+/// sides — the access pattern of a Newton-Raphson loop where the Jacobian is
+/// refactorised every iteration but transient analysis with a fixed step can
+/// reuse the factors for the linear part.
+template <typename T>
+class LuSolver {
+public:
+    /// Factorises a. Throws NumericError if the matrix is singular to working
+    /// precision (pivot magnitude below pivot_tol).
+    explicit LuSolver(Matrix<T> a, double pivot_tol = 1e-13)
+        : lu_(std::move(a)), perm_(lu_.rows()) {
+        XYSIG_EXPECTS(lu_.rows() == lu_.cols());
+        const std::size_t n = lu_.rows();
+        for (std::size_t i = 0; i < n; ++i)
+            perm_[i] = i;
+
+        for (std::size_t k = 0; k < n; ++k) {
+            // Partial pivoting: pick the largest magnitude in column k.
+            std::size_t pivot_row = k;
+            double best = detail::lu_abs(lu_(k, k));
+            for (std::size_t r = k + 1; r < n; ++r) {
+                const double mag = detail::lu_abs(lu_(r, k));
+                if (mag > best) {
+                    best = mag;
+                    pivot_row = r;
+                }
+            }
+            if (best < pivot_tol)
+                throw NumericError("LuSolver: singular matrix (pivot " +
+                                   std::to_string(best) + " at column " +
+                                   std::to_string(k) + ")");
+            if (pivot_row != k) {
+                for (std::size_t c = 0; c < n; ++c)
+                    std::swap(lu_(k, c), lu_(pivot_row, c));
+                std::swap(perm_[k], perm_[pivot_row]);
+            }
+            const T pivot = lu_(k, k);
+            for (std::size_t r = k + 1; r < n; ++r) {
+                const T factor = lu_(r, k) / pivot;
+                lu_(r, k) = factor;
+                for (std::size_t c = k + 1; c < n; ++c)
+                    lu_(r, c) -= factor * lu_(k, c);
+            }
+        }
+    }
+
+    /// Solves A x = b for the factorised A. b.size() must equal n.
+    [[nodiscard]] std::vector<T> solve(const std::vector<T>& b) const {
+        const std::size_t n = lu_.rows();
+        XYSIG_EXPECTS(b.size() == n);
+        std::vector<T> x(n);
+        // Apply permutation, then forward substitution (unit lower factor).
+        for (std::size_t i = 0; i < n; ++i) {
+            T acc = b[perm_[i]];
+            for (std::size_t j = 0; j < i; ++j)
+                acc -= lu_(i, j) * x[j];
+            x[i] = acc;
+        }
+        // Back substitution.
+        for (std::size_t ii = n; ii-- > 0;) {
+            T acc = x[ii];
+            for (std::size_t j = ii + 1; j < n; ++j)
+                acc -= lu_(ii, j) * x[j];
+            x[ii] = acc / lu_(ii, ii);
+        }
+        return x;
+    }
+
+private:
+    Matrix<T> lu_;
+    std::vector<std::size_t> perm_;
+};
+
+/// Convenience one-shot solve of A x = b.
+template <typename T>
+[[nodiscard]] std::vector<T> solve_linear_system(Matrix<T> a, const std::vector<T>& b) {
+    return LuSolver<T>(std::move(a)).solve(b);
+}
+
+/// Solves the normal equations for least squares: min ||A x - b||_2.
+/// Small, dense problems only (used by the regression estimator).
+[[nodiscard]] inline std::vector<double> solve_least_squares(const Matrix<double>& a,
+                                                             const std::vector<double>& b,
+                                                             double ridge = 0.0) {
+    XYSIG_EXPECTS(b.size() == a.rows());
+    XYSIG_EXPECTS(ridge >= 0.0);
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    Matrix<double> ata(n, n);
+    std::vector<double> atb(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < m; ++k)
+                acc += a(k, i) * a(k, j);
+            ata(i, j) = acc;
+        }
+        ata(i, i) += ridge;
+        double acc = 0.0;
+        for (std::size_t k = 0; k < m; ++k)
+            acc += a(k, i) * b[k];
+        atb[i] = acc;
+    }
+    return solve_linear_system(std::move(ata), atb);
+}
+
+} // namespace xysig
+
+#endif // XYSIG_COMMON_MATRIX_H

@@ -1,0 +1,43 @@
+#include "common/rng.h"
+
+#include "common/contracts.h"
+
+namespace xysig {
+
+double Rng::uniform(double lo, double hi) {
+    XYSIG_EXPECTS(lo <= hi);
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+double Rng::normal(double mu, double sigma) {
+    XYSIG_EXPECTS(sigma >= 0.0);
+    if (sigma == 0.0)
+        return mu;
+    std::normal_distribution<double> dist(mu, sigma);
+    return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    XYSIG_EXPECTS(lo <= hi);
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+    XYSIG_EXPECTS(p >= 0.0 && p <= 1.0);
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+Rng Rng::fork() {
+    // SplitMix-style scramble of a fresh draw keeps child streams decorrelated
+    // from the parent and from each other.
+    std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return Rng(z);
+}
+
+} // namespace xysig

@@ -1,0 +1,127 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "common/contracts.h"
+#include "common/error.h"
+
+namespace xysig {
+
+namespace {
+
+bool is_space(char c) noexcept {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+char lower(char c) noexcept {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+} // namespace
+
+std::string_view trim(std::string_view s) noexcept {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && is_space(s[b]))
+        ++b;
+    while (e > b && is_space(s[e - 1]))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, std::string_view delims) {
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && delims.find(s[i]) != std::string_view::npos)
+            ++i;
+        std::size_t start = i;
+        while (i < s.size() && delims.find(s[i]) == std::string_view::npos)
+            ++i;
+        if (i > start)
+            out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string to_lower(std::string_view s) {
+    std::string out(s);
+    for (char& c : out)
+        c = lower(c);
+    return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (lower(a[i]) != lower(b[i]))
+            return false;
+    return true;
+}
+
+double parse_spice_number(std::string_view s) {
+    s = trim(s);
+    if (s.empty())
+        throw InvalidInput("parse_spice_number: empty token");
+
+    double value = 0.0;
+    const char* begin = s.data();
+    const char* end = s.data() + s.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{})
+        throw InvalidInput("parse_spice_number: cannot parse '" + std::string(s) + "'");
+
+    std::string_view suffix(ptr, static_cast<std::size_t>(end - ptr));
+    if (suffix.empty())
+        return value;
+
+    // SPICE suffixes: anything after the recognised letters is a free-form
+    // unit annotation ("4.7kohm" is valid), so match by prefix.
+    const std::string suf = to_lower(suffix);
+    struct Scale {
+        std::string_view name;
+        double factor;
+    };
+    // "meg" must be checked before "m" (milli).
+    static constexpr Scale scales[] = {
+        {"meg", 1e6}, {"f", 1e-15}, {"p", 1e-12}, {"n", 1e-9}, {"u", 1e-6},
+        {"m", 1e-3},  {"k", 1e3},   {"g", 1e9},   {"t", 1e12},
+    };
+    for (const auto& sc : scales) {
+        if (starts_with(suf, sc.name))
+            return value * sc.factor;
+    }
+    // Unrecognised pure-unit suffix like "v", "hz", "ohm": no scaling.
+    for (char c : suf)
+        if (!std::isalpha(static_cast<unsigned char>(c)))
+            throw InvalidInput("parse_spice_number: bad suffix in '" + std::string(s) + "'");
+    return value;
+}
+
+std::string format_double(double v, int significant_digits) {
+    XYSIG_EXPECTS(significant_digits >= 1);
+    std::ostringstream os;
+    os.precision(significant_digits);
+    os << v;
+    return os.str();
+}
+
+std::string format_code_binary(unsigned code, unsigned bits) {
+    XYSIG_EXPECTS(bits >= 1 && bits <= 32);
+    std::string out(bits, '0');
+    for (unsigned i = 0; i < bits; ++i) {
+        if ((code >> i) & 1u)
+            out[bits - 1 - i] = '1';
+    }
+    return out;
+}
+
+} // namespace xysig

@@ -1,0 +1,43 @@
+#ifndef XYSIG_COMMON_STRINGS_H
+#define XYSIG_COMMON_STRINGS_H
+
+/// \file strings.h
+/// Text helpers shared by the SPICE-deck parser and the report writers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xysig {
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Splits on any run of the given delimiters; empty tokens are dropped.
+[[nodiscard]] std::vector<std::string> split(std::string_view s,
+                                             std::string_view delims = " \t");
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// True when s starts with the given prefix (case-sensitive).
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+/// Case-insensitive equality for ASCII strings (SPICE decks are case-blind).
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Parses a floating point number with optional SPICE engineering suffix
+/// (f p n u m k meg g t, case-insensitive, e.g. "4.7k", "180n", "2meg").
+/// Throws InvalidInput on malformed text.
+[[nodiscard]] double parse_spice_number(std::string_view s);
+
+/// Formats v with the given number of significant digits.
+[[nodiscard]] std::string format_double(double v, int significant_digits = 6);
+
+/// Formats an n-bit code as a binary string, MSB first (monitor 1 first),
+/// e.g. code 30, 6 bits -> "011110" — the notation used in Fig. 6.
+[[nodiscard]] std::string format_code_binary(unsigned code, unsigned bits);
+
+} // namespace xysig
+
+#endif // XYSIG_COMMON_STRINGS_H

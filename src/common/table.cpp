@@ -1,0 +1,53 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+#include "common/strings.h"
+
+namespace xysig {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+    XYSIG_EXPECTS(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    XYSIG_EXPECTS(cells.size() == header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_numeric_row(const std::vector<double>& values) {
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values)
+        cells.push_back(format_double(v, 6));
+    add_row(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        out << '\n';
+    };
+
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_)
+        print_row(row);
+}
+
+} // namespace xysig

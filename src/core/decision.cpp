@@ -1,0 +1,53 @@
+#include "core/decision.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/error.h"
+
+namespace xysig::core {
+
+NdfThreshold::NdfThreshold(double threshold) : threshold_(threshold) {
+    XYSIG_EXPECTS(threshold >= 0.0);
+}
+
+namespace {
+
+/// Linear interpolation of the sweep's NDF at a deviation value.
+double interpolate_ndf(std::span<const SweepPoint> sweep, double dev) {
+    std::vector<SweepPoint> sorted(sweep.begin(), sweep.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const SweepPoint& a, const SweepPoint& b) {
+                  return a.deviation_percent < b.deviation_percent;
+              });
+    if (dev < sorted.front().deviation_percent ||
+        dev > sorted.back().deviation_percent)
+        throw InvalidInput("NdfThreshold: tolerance outside the sweep range");
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+        if (dev <= sorted[i].deviation_percent) {
+            const auto& lo = sorted[i - 1];
+            const auto& hi = sorted[i];
+            const double span = hi.deviation_percent - lo.deviation_percent;
+            if (span == 0.0)
+                return lo.ndf_value;
+            const double frac = (dev - lo.deviation_percent) / span;
+            return lo.ndf_value + frac * (hi.ndf_value - lo.ndf_value);
+        }
+    }
+    return sorted.back().ndf_value;
+}
+
+} // namespace
+
+NdfThreshold NdfThreshold::from_sweep(std::span<const SweepPoint> sweep,
+                                      double tolerance_percent) {
+    XYSIG_EXPECTS(sweep.size() >= 2);
+    XYSIG_EXPECTS(tolerance_percent > 0.0);
+    const double plus = interpolate_ndf(sweep, tolerance_percent);
+    const double minus = interpolate_ndf(sweep, -tolerance_percent);
+    return NdfThreshold(std::min(plus, minus));
+}
+
+} // namespace xysig::core

@@ -1,0 +1,41 @@
+#ifndef XYSIG_CORE_DECISION_H
+#define XYSIG_CORE_DECISION_H
+
+/// \file decision.h
+/// The paper's test decision (Section IV-C / Fig. 8): fix the tolerated
+/// parameter deviation, map it through the NDF-vs-deviation curve to an NDF
+/// threshold, then PASS circuits below the threshold and FAIL those above.
+
+#include <span>
+
+#include "core/sweep.h"
+
+namespace xysig::core {
+
+enum class TestOutcome { pass, fail };
+
+/// PASS/FAIL band derived from a calibration sweep.
+class NdfThreshold {
+public:
+    /// Calibrates the threshold for a tolerance of +/- tolerance_percent:
+    /// the NDF at +tol and -tol is interpolated from the sweep and the
+    /// smaller of the two is used (conservative: no out-of-band deviation
+    /// can pass). The sweep must bracket both +tol and -tol.
+    static NdfThreshold from_sweep(std::span<const SweepPoint> sweep,
+                                   double tolerance_percent);
+
+    /// Direct threshold (e.g. from a noise study).
+    explicit NdfThreshold(double threshold);
+
+    [[nodiscard]] double threshold() const noexcept { return threshold_; }
+    [[nodiscard]] TestOutcome classify(double ndf_value) const noexcept {
+        return ndf_value <= threshold_ ? TestOutcome::pass : TestOutcome::fail;
+    }
+
+private:
+    double threshold_;
+};
+
+} // namespace xysig::core
+
+#endif // XYSIG_CORE_DECISION_H

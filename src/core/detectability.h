@@ -1,0 +1,64 @@
+#ifndef XYSIG_CORE_DETECTABILITY_H
+#define XYSIG_CORE_DETECTABILITY_H
+
+/// \file detectability.h
+/// The paper's noise robustness study (Section IV-C): with null-mean white
+/// noise of 3*sigma = 15 mV on the observed signals, deviations as low as
+/// 1% in f0 are detected. We quantify this as a hypothesis test: the
+/// detection threshold is a high percentile of the NDF distribution of the
+/// noisy *golden* circuit, and a deviation is detectable when nearly all
+/// noisy deviated trials exceed it.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "filter/biquad.h"
+
+namespace xysig::core {
+
+struct DetectabilityOptions {
+    int trials = 50;              ///< noisy repetitions per deviation point
+    double noise_sigma = 0.005;   ///< 3*sigma = 15 mV (paper's value)
+    double threshold_percentile = 99.0; ///< of the golden noise-floor NDF
+    double required_rate = 0.90;  ///< detection rate to call it "detected"
+    /// Trials used to estimate the noise-floor threshold; the percentile of
+    /// a small sample is itself noisy, so this defaults to more repetitions
+    /// than the per-deviation trials. 0 means 2 * trials.
+    int floor_trials = 0;
+    /// Lissajous periods captured and NDF-averaged per trial. Independent
+    /// noise per period shrinks the noise-floor spread by sqrt(M): the
+    /// production-test interpretation under which the paper's "1% under
+    /// 3*sigma = 15 mV noise" claim holds (a 16-period capture is 3.2 ms).
+    int periods_averaged = 16;
+};
+
+struct DetectabilityPoint {
+    double deviation_percent = 0.0;
+    double ndf_mean = 0.0;
+    double ndf_min = 0.0;
+    double ndf_max = 0.0;
+    double detection_rate = 0.0; ///< fraction of trials above the threshold
+    bool detected = false;
+};
+
+struct DetectabilityStudy {
+    double threshold = 0.0;          ///< NDF decision level (noise floor)
+    double noise_floor_mean = 0.0;   ///< mean NDF of the noisy golden
+    std::vector<DetectabilityPoint> points;
+
+    /// Smallest |deviation| in the study that was detected (0 if none).
+    [[nodiscard]] double minimum_detectable() const;
+};
+
+/// Runs the study. The pipeline's noise_sigma is overridden per options;
+/// its golden signature is reset to the nominal filter (noise-free).
+[[nodiscard]] DetectabilityStudy noise_detectability(
+    SignaturePipeline& pipeline, const filter::Biquad& nominal,
+    std::span<const double> deviations_percent, const DetectabilityOptions& options,
+    std::uint64_t seed);
+
+} // namespace xysig::core
+
+#endif // XYSIG_CORE_DETECTABILITY_H

@@ -1,0 +1,49 @@
+#include "core/estimator.h"
+
+#include "common/contracts.h"
+#include "common/matrix.h"
+
+namespace xysig::core {
+
+SignatureRegressor::SignatureRegressor(unsigned code_bits)
+    : code_bits_(code_bits) {
+    XYSIG_EXPECTS(code_bits >= 1 && code_bits <= 16);
+}
+
+std::vector<double> SignatureRegressor::features(const capture::Chronogram& ch) const {
+    XYSIG_EXPECTS(ch.code_bits() == code_bits_);
+    const std::size_t dim = (std::size_t{1} << code_bits_) + 1;
+    std::vector<double> f(dim, 0.0);
+    for (std::size_t i = 0; i < ch.events().size(); ++i)
+        f[ch.events()[i].code] += ch.dwell(i) / ch.period();
+    f.back() = 1.0; // bias
+    return f;
+}
+
+void SignatureRegressor::fit(std::span<const capture::Chronogram> chronograms,
+                             std::span<const double> targets, double ridge) {
+    XYSIG_EXPECTS(chronograms.size() == targets.size());
+    XYSIG_EXPECTS(chronograms.size() >= 2);
+    XYSIG_EXPECTS(ridge >= 0.0);
+
+    const std::size_t dim = (std::size_t{1} << code_bits_) + 1;
+    Matrix<double> a(chronograms.size(), dim);
+    std::vector<double> b(targets.begin(), targets.end());
+    for (std::size_t r = 0; r < chronograms.size(); ++r) {
+        const auto f = features(chronograms[r]);
+        for (std::size_t c = 0; c < dim; ++c)
+            a(r, c) = f[c];
+    }
+    weights_ = solve_least_squares(a, b, ridge);
+}
+
+double SignatureRegressor::predict(const capture::Chronogram& ch) const {
+    XYSIG_EXPECTS(is_fitted());
+    const auto f = features(ch);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < f.size(); ++i)
+        acc += weights_[i] * f[i];
+    return acc;
+}
+
+} // namespace xysig::core

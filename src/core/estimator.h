@@ -1,0 +1,44 @@
+#ifndef XYSIG_CORE_ESTIMATOR_H
+#define XYSIG_CORE_ESTIMATOR_H
+
+/// \file estimator.h
+/// Extension (direction of the paper's ref [14]): instead of a PASS/FAIL
+/// threshold, regress the parameter deviation from the digital signature.
+/// Features are the per-zone dwell-time fractions of the chronogram, which
+/// are exactly what the hardware signature {(Zi, Di)} provides; a ridge
+/// least-squares model maps them to the f0 deviation in percent.
+
+#include <span>
+#include <vector>
+
+#include "capture/chronogram.h"
+
+namespace xysig::core {
+
+/// Ridge regression from signature dwell features to a scalar parameter.
+class SignatureRegressor {
+public:
+    /// \param code_bits width of the zone code (feature dimension 2^bits+1)
+    explicit SignatureRegressor(unsigned code_bits);
+
+    /// Dwell-time fraction per zone code, plus a bias term.
+    [[nodiscard]] std::vector<double> features(const capture::Chronogram& ch) const;
+
+    /// Fits on chronogram/target pairs. ridge > 0 keeps the under-determined
+    /// 2^bits-dimensional problem well-posed with few training points.
+    void fit(std::span<const capture::Chronogram> chronograms,
+             std::span<const double> targets, double ridge = 1e-6);
+
+    [[nodiscard]] bool is_fitted() const noexcept { return !weights_.empty(); }
+
+    /// Predicted target (e.g. f0 deviation in percent).
+    [[nodiscard]] double predict(const capture::Chronogram& ch) const;
+
+private:
+    unsigned code_bits_;
+    std::vector<double> weights_;
+};
+
+} // namespace xysig::core
+
+#endif // XYSIG_CORE_ESTIMATOR_H

@@ -1,0 +1,56 @@
+#include "core/pipeline.h"
+
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace xysig::core {
+
+SignaturePipeline::SignaturePipeline(monitor::MonitorBank bank,
+                                     MultitoneWaveform stimulus,
+                                     PipelineOptions options)
+    : bank_(std::move(bank)), stimulus_(std::move(stimulus)),
+      options_(options) {
+    XYSIG_EXPECTS(bank_.size() >= 1);
+    XYSIG_EXPECTS(options_.samples_per_period >= 64);
+    XYSIG_EXPECTS(options_.noise_sigma >= 0.0);
+}
+
+XyTrace SignaturePipeline::trace(const filter::Cut& cut, Rng* noise_rng) const {
+    XyTrace tr = cut.respond(stimulus_, options_.samples_per_period);
+    if (noise_rng != nullptr && options_.noise_sigma > 0.0)
+        tr.add_white_noise(*noise_rng, options_.noise_sigma);
+    return tr;
+}
+
+capture::Chronogram SignaturePipeline::chronogram(const filter::Cut& cut,
+                                                  Rng* noise_rng) const {
+    const XyTrace tr = trace(cut, noise_rng);
+    capture::Chronogram ideal = capture::Chronogram::from_trace(tr, bank_);
+    if (!options_.quantise)
+        return ideal;
+    const capture::CaptureUnit unit(options_.capture);
+    return unit.capture(ideal).signature.to_chronogram();
+}
+
+capture::CaptureResult SignaturePipeline::capture(const filter::Cut& cut,
+                                                  Rng* noise_rng) const {
+    const XyTrace tr = trace(cut, noise_rng);
+    const capture::CaptureUnit unit(options_.capture);
+    return unit.capture(tr, bank_);
+}
+
+void SignaturePipeline::set_golden(const filter::Cut& golden_cut) {
+    golden_ = chronogram(golden_cut, nullptr);
+}
+
+const capture::Chronogram& SignaturePipeline::golden() const {
+    XYSIG_EXPECTS(golden_.has_value());
+    return *golden_;
+}
+
+double SignaturePipeline::ndf_of(const filter::Cut& cut, Rng* noise_rng) const {
+    return ndf(chronogram(cut, noise_rng), golden());
+}
+
+} // namespace xysig::core

@@ -1,0 +1,69 @@
+#ifndef XYSIG_CORE_PIPELINE_H
+#define XYSIG_CORE_PIPELINE_H
+
+/// \file pipeline.h
+/// End-to-end test pipeline: stimulus -> CUT -> (optional noise) -> monitor
+/// bank -> (optional capture quantisation) -> chronogram -> NDF against the
+/// golden signature. This is the paper's complete verification flow in one
+/// object.
+
+#include <optional>
+
+#include "capture/capture_unit.h"
+#include "core/ndf.h"
+#include "filter/cut.h"
+#include "monitor/monitor_bank.h"
+
+namespace xysig::core {
+
+/// Knobs of the flow.
+struct PipelineOptions {
+    std::size_t samples_per_period = 8192; ///< CUT simulation resolution
+    double noise_sigma = 0.0;              ///< white noise on x and y (V)
+    bool quantise = false;                 ///< run through the Fig. 5 capture
+    capture::CaptureOptions capture{};     ///< used when quantise is true
+};
+
+/// The flow, bound to a monitor bank and a stimulus.
+class SignaturePipeline {
+public:
+    SignaturePipeline(monitor::MonitorBank bank, MultitoneWaveform stimulus,
+                      PipelineOptions options = {});
+
+    [[nodiscard]] const monitor::MonitorBank& bank() const noexcept { return bank_; }
+    [[nodiscard]] const MultitoneWaveform& stimulus() const noexcept {
+        return stimulus_;
+    }
+    [[nodiscard]] const PipelineOptions& options() const noexcept { return options_; }
+
+    /// One steady-state period of the CUT's (x, y), with noise if configured
+    /// (pass the RNG; no RNG means no noise even if noise_sigma > 0).
+    [[nodiscard]] XyTrace trace(const filter::Cut& cut, Rng* noise_rng = nullptr) const;
+
+    /// The observed chronogram of a CUT: ideal, or capture-quantised when
+    /// options().quantise is set.
+    [[nodiscard]] capture::Chronogram chronogram(const filter::Cut& cut,
+                                                 Rng* noise_rng = nullptr) const;
+
+    /// Raw captured signature of a CUT (regardless of options().quantise).
+    [[nodiscard]] capture::CaptureResult capture(const filter::Cut& cut,
+                                                 Rng* noise_rng = nullptr) const;
+
+    /// Stores the golden signature (noise-free by definition).
+    void set_golden(const filter::Cut& golden_cut);
+    [[nodiscard]] bool has_golden() const noexcept { return golden_.has_value(); }
+    [[nodiscard]] const capture::Chronogram& golden() const;
+
+    /// NDF of a CUT against the stored golden signature.
+    [[nodiscard]] double ndf_of(const filter::Cut& cut, Rng* noise_rng = nullptr) const;
+
+private:
+    monitor::MonitorBank bank_;
+    MultitoneWaveform stimulus_;
+    PipelineOptions options_;
+    std::optional<capture::Chronogram> golden_;
+};
+
+} // namespace xysig::core
+
+#endif // XYSIG_CORE_PIPELINE_H

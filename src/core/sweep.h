@@ -1,0 +1,45 @@
+#ifndef XYSIG_CORE_SWEEP_H
+#define XYSIG_CORE_SWEEP_H
+
+/// \file sweep.h
+/// Parameter-deviation sweeps: the Fig. 8 experiment (NDF versus % defect
+/// in f0) and its Q-deviation sibling.
+
+#include <span>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "filter/biquad.h"
+
+namespace xysig::core {
+
+/// One sweep sample.
+struct SweepPoint {
+    double deviation_percent = 0.0;
+    double ndf_value = 0.0;
+};
+
+/// Which Biquad parameter the sweep deviates.
+enum class SweptParameter { f0, q };
+
+/// Runs the deviation sweep of a behavioural Biquad CUT. The pipeline's
+/// golden signature is (re)set to the nominal filter first.
+[[nodiscard]] std::vector<SweepPoint> deviation_sweep(
+    SignaturePipeline& pipeline, const filter::Biquad& nominal,
+    std::span<const double> deviations_percent,
+    SweptParameter parameter = SweptParameter::f0);
+
+/// Summary of the Fig. 8 shape claims: linearity and +/- symmetry.
+struct SweepShape {
+    double slope_per_percent = 0.0;  ///< |dNDF/d%| from a linear fit on |dev|
+    double r_squared = 0.0;          ///< fit quality (paper: "almost linearly")
+    double asymmetry = 0.0;          ///< mean |NDF(+d) - NDF(-d)| / mean NDF
+    double max_ndf = 0.0;
+};
+
+/// Fits the shape descriptors over a symmetric sweep.
+[[nodiscard]] SweepShape analyse_sweep(std::span<const SweepPoint> points);
+
+} // namespace xysig::core
+
+#endif // XYSIG_CORE_SWEEP_H

@@ -1,0 +1,117 @@
+#include "filter/biquad.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+#include "common/math_util.h"
+
+namespace xysig::filter {
+
+Biquad::Biquad(const BiquadDesign& design) : design_(design) {
+    XYSIG_EXPECTS(design.f0 > 0.0);
+    XYSIG_EXPECTS(design.q > 0.0);
+}
+
+Biquad Biquad::with_f0_shift(double delta_fraction) const {
+    XYSIG_EXPECTS(delta_fraction > -1.0);
+    BiquadDesign d = design_;
+    d.f0 *= (1.0 + delta_fraction);
+    return Biquad(d);
+}
+
+Biquad Biquad::with_q_shift(double delta_fraction) const {
+    XYSIG_EXPECTS(delta_fraction > -1.0);
+    BiquadDesign d = design_;
+    d.q *= (1.0 + delta_fraction);
+    return Biquad(d);
+}
+
+std::complex<double> Biquad::transfer(double f_hz) const {
+    const double w0 = kTwoPi * design_.f0;
+    const std::complex<double> s(0.0, kTwoPi * f_hz);
+    std::complex<double> num;
+    switch (design_.kind) {
+    case BiquadKind::low_pass:
+        num = design_.gain * w0 * w0;
+        break;
+    case BiquadKind::band_pass:
+        num = design_.gain * (w0 / design_.q) * s;
+        break;
+    case BiquadKind::high_pass:
+        num = design_.gain * s * s;
+        break;
+    }
+    const std::complex<double> den = s * s + (w0 / design_.q) * s + w0 * w0;
+    return num / den;
+}
+
+double Biquad::magnitude(double f_hz) const { return std::abs(transfer(f_hz)); }
+
+double Biquad::phase(double f_hz) const { return std::arg(transfer(f_hz)); }
+
+MultitoneWaveform Biquad::steady_state_output(const MultitoneWaveform& input) const {
+    const double h0 = transfer(0.0).real(); // H(0) is real
+    std::vector<Tone> tones;
+    tones.reserve(input.tones().size());
+    for (const Tone& t : input.tones()) {
+        const std::complex<double> h = transfer(t.frequency_hz);
+        Tone out;
+        out.frequency_hz = t.frequency_hz;
+        out.amplitude = t.amplitude * std::abs(h);
+        out.phase_rad = t.phase_rad + std::arg(h);
+        tones.push_back(out);
+    }
+    return MultitoneWaveform(input.offset() * h0, std::move(tones));
+}
+
+SampledSignal Biquad::simulate(const Waveform& input, double t0, double duration,
+                               std::size_t n) const {
+    XYSIG_EXPECTS(n >= 2);
+    XYSIG_EXPECTS(duration > 0.0);
+    const double w0 = kTwoPi * design_.f0;
+    const double a1 = w0 / design_.q; // s^1 denominator coefficient
+    const double a0 = w0 * w0;        // s^0 denominator coefficient
+
+    // Controllable canonical form: x1' = x2, x2' = -a0 x1 - a1 x2 + u.
+    // Outputs: LP: G*a0*x1 ; BP: G*(w0/Q)*x2 ; HP: G*(u - a0 x1 - a1 x2).
+    const double dt = duration / static_cast<double>(n);
+    double x1 = 0.0, x2 = 0.0;
+
+    auto deriv = [&](double s1, double s2, double u, double& d1, double& d2) {
+        d1 = s2;
+        d2 = -a0 * s1 - a1 * s2 + u;
+    };
+
+    std::vector<double> out(n);
+    auto output = [&](double s1, double s2, double u) {
+        switch (design_.kind) {
+        case BiquadKind::low_pass:
+            return design_.gain * a0 * s1;
+        case BiquadKind::band_pass:
+            return design_.gain * a1 * s2;
+        case BiquadKind::high_pass:
+            return design_.gain * (u - a0 * s1 - a1 * s2);
+        }
+        return 0.0; // unreachable
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = t0 + static_cast<double>(i) * dt;
+        out[i] = output(x1, x2, input.value(t));
+
+        // RK4 step from t to t+dt.
+        double k1a, k1b, k2a, k2b, k3a, k3b, k4a, k4b;
+        const double u1 = input.value(t);
+        const double u2 = input.value(t + 0.5 * dt);
+        const double u3 = input.value(t + dt);
+        deriv(x1, x2, u1, k1a, k1b);
+        deriv(x1 + 0.5 * dt * k1a, x2 + 0.5 * dt * k1b, u2, k2a, k2b);
+        deriv(x1 + 0.5 * dt * k2a, x2 + 0.5 * dt * k2b, u2, k3a, k3b);
+        deriv(x1 + dt * k3a, x2 + dt * k3b, u3, k4a, k4b);
+        x1 += dt / 6.0 * (k1a + 2.0 * k2a + 2.0 * k3a + k4a);
+        x2 += dt / 6.0 * (k1b + 2.0 * k2b + 2.0 * k3b + k4b);
+    }
+    return SampledSignal(t0, dt, std::move(out));
+}
+
+} // namespace xysig::filter

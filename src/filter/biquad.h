@@ -1,0 +1,67 @@
+#ifndef XYSIG_FILTER_BIQUAD_H
+#define XYSIG_FILTER_BIQUAD_H
+
+/// \file biquad.h
+/// Second-order (biquadratic) filter models — the paper's CUT.
+///
+/// The behavioural model represents
+///   H(s) = N(s) / (s^2 + (w0/Q) s + w0^2)
+/// with N(s) selected by the response kind (low-pass: G*w0^2, band-pass:
+/// G*(w0/Q)*s, high-pass: G*s^2). For periodic multitone stimuli the exact
+/// steady-state output is computed per tone (LTI superposition), which is
+/// both faster and more accurate than time stepping; a time-domain RK4
+/// simulation is provided for cross-checks and arbitrary stimuli.
+
+#include <complex>
+
+#include "signal/sampled.h"
+#include "signal/waveform.h"
+
+namespace xysig::filter {
+
+enum class BiquadKind { low_pass, band_pass, high_pass };
+
+/// Design parameters of a second-order section.
+struct BiquadDesign {
+    double f0 = 10e3;  ///< natural frequency (Hz)
+    double q = 1.0;    ///< quality factor
+    double gain = 1.0; ///< pass-band gain G
+    BiquadKind kind = BiquadKind::low_pass;
+};
+
+/// Analytic second-order filter.
+class Biquad {
+public:
+    explicit Biquad(const BiquadDesign& design);
+
+    [[nodiscard]] const BiquadDesign& design() const noexcept { return design_; }
+
+    /// Returns a copy with the natural frequency shifted by the given
+    /// fraction (the paper's defect model: f0' = f0 * (1 + delta)).
+    [[nodiscard]] Biquad with_f0_shift(double delta_fraction) const;
+    /// Same for Q deviations (extension experiments).
+    [[nodiscard]] Biquad with_q_shift(double delta_fraction) const;
+
+    /// Complex transfer function at frequency f (Hz).
+    [[nodiscard]] std::complex<double> transfer(double f_hz) const;
+    [[nodiscard]] double magnitude(double f_hz) const;
+    [[nodiscard]] double phase(double f_hz) const;
+
+    /// Exact steady-state output for a multitone input: each tone is scaled
+    /// by |H| and shifted by arg(H); the DC offset is scaled by H(0).
+    [[nodiscard]] MultitoneWaveform steady_state_output(
+        const MultitoneWaveform& input) const;
+
+    /// Time-domain simulation from zero initial state (classic RK4 on the
+    /// controllable-canonical state space). Used to validate the
+    /// steady-state path and for aperiodic stimuli.
+    [[nodiscard]] SampledSignal simulate(const Waveform& input, double t0,
+                                         double duration, std::size_t n) const;
+
+private:
+    BiquadDesign design_;
+};
+
+} // namespace xysig::filter
+
+#endif // XYSIG_FILTER_BIQUAD_H

@@ -1,0 +1,72 @@
+#include "filter/cut.h"
+
+#include <utility>
+
+#include "common/contracts.h"
+#include "common/strings.h"
+#include "spice/elements.h"
+#include "spice/transient.h"
+
+namespace xysig::filter {
+
+BehaviouralCut::BehaviouralCut(Biquad filter) : filter_(std::move(filter)) {}
+
+XyTrace BehaviouralCut::respond(const MultitoneWaveform& stimulus,
+                                std::size_t samples_per_period) const {
+    XYSIG_EXPECTS(samples_per_period >= 16);
+    const double period = stimulus.period();
+    const MultitoneWaveform out = filter_.steady_state_output(stimulus);
+    SampledSignal x =
+        SampledSignal::from_waveform(stimulus, 0.0, period, samples_per_period);
+    SampledSignal y =
+        SampledSignal::from_waveform(out, 0.0, period, samples_per_period);
+    return XyTrace(std::move(x), std::move(y));
+}
+
+std::string BehaviouralCut::description() const {
+    return "behavioural biquad f0=" + format_double(filter_.design().f0, 6) +
+           " Hz, Q=" + format_double(filter_.design().q, 4);
+}
+
+SpiceCut::SpiceCut(spice::Netlist& netlist, std::string input_source,
+                   std::string x_node, std::string y_node, int settle_periods)
+    : netlist_(&netlist), input_source_(std::move(input_source)),
+      x_node_(std::move(x_node)), y_node_(std::move(y_node)),
+      settle_periods_(settle_periods) {
+    XYSIG_EXPECTS(settle_periods >= 1);
+}
+
+XyTrace SpiceCut::respond(const MultitoneWaveform& stimulus,
+                          std::size_t samples_per_period) const {
+    XYSIG_EXPECTS(samples_per_period >= 16);
+    const double period = stimulus.period();
+    auto& src = netlist_->get<spice::VoltageSource>(input_source_);
+    src.set_waveform(stimulus);
+
+    spice::TransientOptions opts;
+    opts.t_start = 0.0;
+    opts.t_stop = static_cast<double>(settle_periods_ + 1) * period;
+    opts.dt = period / static_cast<double>(samples_per_period);
+    const auto res = spice::run_transient(*netlist_, opts);
+
+    // Extract the final period and re-base it to t = 0 (the stimulus is
+    // T-periodic, so its phase at k*T equals its phase at 0).
+    const std::size_t first =
+        static_cast<std::size_t>(settle_periods_) * samples_per_period;
+    const spice::NodeId xn = netlist_->find_node(x_node_);
+    const spice::NodeId yn = netlist_->find_node(y_node_);
+    std::vector<double> xs(samples_per_period);
+    std::vector<double> ys(samples_per_period);
+    for (std::size_t i = 0; i < samples_per_period; ++i) {
+        xs[i] = res.voltage(xn, first + i);
+        ys[i] = res.voltage(yn, first + i);
+    }
+    return XyTrace(SampledSignal(0.0, opts.dt, std::move(xs)),
+                   SampledSignal(0.0, opts.dt, std::move(ys)));
+}
+
+std::string SpiceCut::description() const {
+    return "spice netlist CUT (x=" + x_node_ + ", y=" + y_node_ + ")";
+}
+
+} // namespace xysig::filter

@@ -1,0 +1,80 @@
+#ifndef XYSIG_FILTER_CUT_H
+#define XYSIG_FILTER_CUT_H
+
+/// \file cut.h
+/// Circuit-under-test abstraction: anything that, driven by the multitone
+/// stimulus, produces one steady-state period of the (x(t), y(t)) pair the
+/// monitors observe. Two implementations:
+///  * BehaviouralCut — exact LTI steady state of a Biquad (fast path for
+///    sweeps and Monte-Carlo);
+///  * SpiceCut — transient simulation of an arbitrary netlist (Tow-Thomas,
+///    Sallen-Key, ...) with settling periods discarded.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "filter/biquad.h"
+#include "signal/sampled.h"
+#include "signal/waveform.h"
+#include "spice/netlist.h"
+#include "spice/types.h"
+
+namespace xysig::filter {
+
+/// Produces the observed Lissajous period for a stimulus.
+class Cut {
+public:
+    virtual ~Cut() = default;
+
+    /// One steady-state stimulus period of (x, y), re-based to t = 0, with
+    /// samples_per_period uniform samples. x is the stimulus itself unless
+    /// the CUT observes something else.
+    [[nodiscard]] virtual XyTrace respond(const MultitoneWaveform& stimulus,
+                                          std::size_t samples_per_period) const = 0;
+
+    /// Human-readable description for reports.
+    [[nodiscard]] virtual std::string description() const = 0;
+};
+
+/// Exact steady-state Biquad response (x = stimulus, y = filter output).
+class BehaviouralCut final : public Cut {
+public:
+    explicit BehaviouralCut(Biquad filter);
+
+    [[nodiscard]] XyTrace respond(const MultitoneWaveform& stimulus,
+                                  std::size_t samples_per_period) const override;
+    [[nodiscard]] std::string description() const override;
+
+    [[nodiscard]] const Biquad& filter() const noexcept { return filter_; }
+
+private:
+    Biquad filter_;
+};
+
+/// Transient-simulated netlist response. The netlist is owned externally;
+/// SpiceCut mutates only the named input source's waveform.
+class SpiceCut final : public Cut {
+public:
+    /// \param netlist        circuit to simulate (kept by reference)
+    /// \param input_source   VoltageSource that receives the stimulus
+    /// \param x_node,y_node  observed nodes
+    /// \param settle_periods stimulus periods discarded before capture
+    SpiceCut(spice::Netlist& netlist, std::string input_source, std::string x_node,
+             std::string y_node, int settle_periods = 8);
+
+    [[nodiscard]] XyTrace respond(const MultitoneWaveform& stimulus,
+                                  std::size_t samples_per_period) const override;
+    [[nodiscard]] std::string description() const override;
+
+private:
+    spice::Netlist* netlist_;
+    std::string input_source_;
+    std::string x_node_;
+    std::string y_node_;
+    int settle_periods_;
+};
+
+} // namespace xysig::filter
+
+#endif // XYSIG_FILTER_CUT_H

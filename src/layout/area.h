@@ -1,0 +1,60 @@
+#ifndef XYSIG_LAYOUT_AREA_H
+#define XYSIG_LAYOUT_AREA_H
+
+/// \file area.h
+/// Area model of the monitor layout (paper Fig. 3): the fabricated monitor
+/// occupies 53.54 um^2 (11.64 um x 4.6 um) with the input/load devices
+/// split by four in a common-centroid array, and 116.1 um^2 including the
+/// high-gain output stage.
+///
+/// The model is a calibrated cell-grid estimate: unit transistors become
+/// cells of (unit width + fixed overhead) x (L + fixed overhead), arranged
+/// on the common-centroid grid, plus edge margins. Overheads bundle
+/// contacts, diffusion extensions, poly pitch and routing; the defaults are
+/// calibrated against the paper's reported dimensions (see DESIGN.md).
+
+#include "layout/common_centroid.h"
+#include "monitor/mos_boundary.h"
+
+namespace xysig::layout {
+
+/// Calibrated 65 nm-flavoured layout rules (meters).
+struct DesignRules {
+    double cell_overhead_x = 0.615e-6; ///< contacts + diffusion + spacing per cell
+    double cell_overhead_y = 0.82e-6;  ///< poly extension + contact row + well space
+    double edge_margin_x = 0.36e-6;    ///< guard/ring margin left+right (each)
+    double edge_margin_y = 0.30e-6;    ///< guard/ring margin top+bottom (each)
+    double output_stage_area = 62.56e-12; ///< high-gain stage (paper: total-core)
+};
+
+/// One rectangular block estimate.
+struct AreaReport {
+    double width = 0.0;  ///< m
+    double height = 0.0; ///< m
+    double area = 0.0;   ///< m^2
+
+    [[nodiscard]] double area_um2() const noexcept { return area * 1e12; }
+    [[nodiscard]] double width_um() const noexcept { return width * 1e6; }
+    [[nodiscard]] double height_um() const noexcept { return height * 1e6; }
+};
+
+/// Area of the comparator core: the four input devices plus the four load
+/// devices of the Fig. 2 monitor, each split into `split` units on a
+/// common-centroid grid with `rows` rows.
+///
+/// \param input_config the monitor's input devices (widths from Table I)
+/// \param load_width   W of the pMOS loads (M5..M8)
+[[nodiscard]] AreaReport monitor_core_area(const monitor::MonitorConfig& input_config,
+                                           double load_width,
+                                           const DesignRules& rules = {},
+                                           int split = 4, std::size_t rows = 4);
+
+/// Core + output stage.
+[[nodiscard]] AreaReport monitor_total_area(const monitor::MonitorConfig& input_config,
+                                            double load_width,
+                                            const DesignRules& rules = {},
+                                            int split = 4, std::size_t rows = 4);
+
+} // namespace xysig::layout
+
+#endif // XYSIG_LAYOUT_AREA_H

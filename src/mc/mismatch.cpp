@@ -1,0 +1,29 @@
+#include "mc/mismatch.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace xysig::mc {
+
+double PelgromModel::sigma_vt(double w, double l) const {
+    XYSIG_EXPECTS(w > 0.0 && l > 0.0);
+    return a_vt / std::sqrt(w * l);
+}
+
+double PelgromModel::sigma_beta_rel(double w, double l) const {
+    XYSIG_EXPECTS(w > 0.0 && l > 0.0);
+    return a_beta / std::sqrt(w * l);
+}
+
+ProcessSample sample_process(const ProcessVariation& pv, Rng& rng) {
+    ProcessSample s;
+    s.delta_vt0 = rng.normal(0.0, pv.sigma_vt0);
+    s.kp_scale = 1.0 + rng.normal(0.0, pv.sigma_kp_rel);
+    // Guard against absurd tail draws that would make kp non-physical.
+    if (s.kp_scale < 0.5)
+        s.kp_scale = 0.5;
+    return s;
+}
+
+} // namespace xysig::mc

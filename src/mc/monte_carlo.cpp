@@ -1,0 +1,79 @@
+#include "mc/monte_carlo.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+#include "common/statistics.h"
+
+namespace xysig::mc {
+
+std::vector<double> run_monte_carlo(int n, std::uint64_t seed,
+                                    const std::function<double(Rng&)>& fn) {
+    XYSIG_EXPECTS(n >= 1);
+    Rng parent(seed);
+    std::vector<double> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        Rng stream = parent.fork();
+        out.push_back(fn(stream));
+    }
+    return out;
+}
+
+bool CurveEnvelope::contains(std::span<const double> ys, double tolerance) const {
+    XYSIG_EXPECTS(ys.size() == xs.size());
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+        if (std::isnan(ys[i]))
+            continue;
+        if (ys[i] < p05[i] - tolerance || ys[i] > p95[i] + tolerance)
+            return false;
+    }
+    return true;
+}
+
+CurveEnvelope monte_carlo_envelope(
+    int n, std::uint64_t seed, std::vector<double> xs,
+    const std::function<std::vector<double>(Rng&, const std::vector<double>&)>&
+        curve_fn) {
+    XYSIG_EXPECTS(n >= 2);
+    XYSIG_EXPECTS(!xs.empty());
+
+    Rng parent(seed);
+    std::vector<std::vector<double>> curves;
+    curves.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        Rng stream = parent.fork();
+        std::vector<double> ys = curve_fn(stream, xs);
+        XYSIG_ASSERT(ys.size() == xs.size());
+        curves.push_back(std::move(ys));
+    }
+
+    CurveEnvelope env;
+    env.xs = std::move(xs);
+    const std::size_t m = env.xs.size();
+    env.p05.resize(m);
+    env.p50.resize(m);
+    env.p95.resize(m);
+    env.lo.resize(m);
+    env.hi.resize(m);
+    std::vector<double> column;
+    for (std::size_t j = 0; j < m; ++j) {
+        column.clear();
+        for (const auto& c : curves)
+            if (!std::isnan(c[j]))
+                column.push_back(c[j]);
+        if (column.empty()) {
+            const double nan = std::nan("");
+            env.p05[j] = env.p50[j] = env.p95[j] = env.lo[j] = env.hi[j] = nan;
+            continue;
+        }
+        env.p05[j] = percentile(column, 5.0);
+        env.p50[j] = percentile(column, 50.0);
+        env.p95[j] = percentile(column, 95.0);
+        env.lo[j] = min_value(column);
+        env.hi[j] = max_value(column);
+    }
+    return env;
+}
+
+} // namespace xysig::mc

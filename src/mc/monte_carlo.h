@@ -1,0 +1,47 @@
+#ifndef XYSIG_MC_MONTE_CARLO_H
+#define XYSIG_MC_MONTE_CARLO_H
+
+/// \file monte_carlo.h
+/// Monte-Carlo engine: reproducible sampling with per-sample forked RNG
+/// streams, scalar statistics and curve envelopes (the "predicted range"
+/// the paper compares its measured boundary curves against).
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace xysig::mc {
+
+/// Runs fn n times, each with an independent forked stream; returns the
+/// scalar observations in sample order (deterministic in seed).
+[[nodiscard]] std::vector<double> run_monte_carlo(
+    int n, std::uint64_t seed, const std::function<double(Rng&)>& fn);
+
+/// Percentile envelope of a family of curves sampled on a common x grid.
+struct CurveEnvelope {
+    std::vector<double> xs;
+    std::vector<double> p05; ///< 5th percentile per x
+    std::vector<double> p50; ///< median per x
+    std::vector<double> p95; ///< 95th percentile per x
+    std::vector<double> lo;  ///< minimum per x
+    std::vector<double> hi;  ///< maximum per x
+
+    /// True when y(x) lies inside [p05, p95] at every grid point where y is
+    /// finite; used to check nominal curves against the predicted MC range.
+    [[nodiscard]] bool contains(std::span<const double> ys,
+                                double tolerance = 0.0) const;
+};
+
+/// Builds the envelope from n sampled curves. curve_fn(rng, xs) returns the
+/// y values of one random curve on the grid (NaN marks "no value at this x",
+/// which is excluded from the order statistics of that column).
+[[nodiscard]] CurveEnvelope monte_carlo_envelope(
+    int n, std::uint64_t seed, std::vector<double> xs,
+    const std::function<std::vector<double>(Rng&, const std::vector<double>&)>&
+        curve_fn);
+
+} // namespace xysig::mc
+
+#endif // XYSIG_MC_MONTE_CARLO_H

@@ -1,0 +1,60 @@
+#include "monitor/boundary.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+#include "common/math_util.h"
+
+namespace xysig::monitor {
+
+namespace {
+/// Orientation reference for boundaries passing exactly through the origin:
+/// a point just off the origin, below the diagonal (see DESIGN.md).
+constexpr double kRefX = 0.05;
+constexpr double kRefY = 0.0;
+} // namespace
+
+LinearBoundary::LinearBoundary(double a, double b, double c) : a_(a), b_(b), c_(c) {
+    XYSIG_EXPECTS(a != 0.0 || b != 0.0);
+    double at_origin = c_;
+    if (at_origin == 0.0)
+        at_origin = a_ * kRefX + b_ * kRefY + c_;
+    XYSIG_EXPECTS(at_origin != 0.0); // line through the reference point too
+    if (at_origin > 0.0) {
+        a_ = -a_;
+        b_ = -b_;
+        c_ = -c_;
+    }
+}
+
+double LinearBoundary::h(double x, double y) const { return a_ * x + b_ * y + c_; }
+
+std::vector<CurvePoint> trace_boundary(const Boundary& boundary, double x_lo,
+                                       double x_hi, std::size_t n_x, double y_lo,
+                                       double y_hi, std::size_t y_scan) {
+    XYSIG_EXPECTS(x_hi > x_lo && y_hi > y_lo);
+    XYSIG_EXPECTS(n_x >= 2 && y_scan >= 8);
+
+    std::vector<CurvePoint> points;
+    const auto xs = linspace(x_lo, x_hi, n_x);
+    const auto ys = linspace(y_lo, y_hi, y_scan);
+    for (const double x : xs) {
+        double prev = boundary.h(x, ys[0]);
+        for (std::size_t j = 1; j < ys.size(); ++j) {
+            const double cur = boundary.h(x, ys[j]);
+            if (prev == 0.0) {
+                points.push_back({x, ys[j - 1]});
+            } else if ((prev < 0.0) != (cur < 0.0)) {
+                const double root = bisect(
+                    [&](double y) { return boundary.h(x, y); }, ys[j - 1], ys[j]);
+                points.push_back({x, root});
+            }
+            prev = cur;
+        }
+        if (prev == 0.0)
+            points.push_back({x, ys.back()});
+    }
+    return points;
+}
+
+} // namespace xysig::monitor

@@ -1,0 +1,78 @@
+#include "monitor/comparator_netlist.h"
+
+#include "common/contracts.h"
+#include "spice/dc.h"
+#include "spice/elements.h"
+
+namespace xysig::monitor {
+
+ComparatorCircuit build_comparator(const MonitorConfig& config,
+                                   const ComparatorOptions& options) {
+    XYSIG_EXPECTS(options.vdd > 0.0);
+    XYSIG_EXPECTS(options.feedback_ratio > 0.0 && options.feedback_ratio <= 1.0);
+
+    ComparatorCircuit ckt;
+    ckt.config = config;
+    ckt.options = options;
+    spice::Netlist& nl = ckt.netlist;
+
+    const auto vdd = nl.node("vdd");
+    const auto out1 = nl.node("vout1");
+    const auto out2 = nl.node("vout2");
+
+    nl.add<spice::VoltageSource>("VDD", vdd, spice::kGround, options.vdd);
+
+    // Input devices: gates driven by dedicated sources (set per plane point).
+    for (int i = 0; i < 4; ++i) {
+        const auto gate = nl.node("g" + std::to_string(i + 1));
+        nl.add<spice::VoltageSource>(ckt.v_inputs[i], gate, spice::kGround, 0.0);
+        spice::MosParams p = config.device;
+        p.w = config.legs[static_cast<std::size_t>(i)].width;
+        p.vt0 = config.device.vt0 +
+                config.legs[static_cast<std::size_t>(i)].vt0_delta;
+        p.kp = config.device.kp * config.legs[static_cast<std::size_t>(i)].kp_scale;
+        const auto drain = (i < 2) ? out1 : out2;
+        nl.add<spice::Mosfet>("M" + std::to_string(i + 1), drain, gate,
+                              spice::kGround, p);
+    }
+
+    // pMOS loads: M5/M8 diode-connected, M6/M7 cross-coupled.
+    spice::MosParams load;
+    load.type = spice::MosType::pmos;
+    load.model = config.device.model;
+    load.l = config.device.l;
+    load.vt0 = options.load_vt0;
+    load.kp = options.load_kp;
+    load.n_slope = config.device.n_slope;
+    load.lambda = config.device.lambda;
+
+    load.w = options.load_width;
+    nl.add<spice::Mosfet>("M5", out1, out1, vdd, load); // diode load, left
+    nl.add<spice::Mosfet>("M8", out2, out2, vdd, load); // diode load, right
+    load.w = options.load_width * options.feedback_ratio;
+    nl.add<spice::Mosfet>("M6", out1, out2, vdd, load); // cross feedback
+    nl.add<spice::Mosfet>("M7", out2, out1, vdd, load);
+
+    return ckt;
+}
+
+namespace {
+void drive_inputs(ComparatorCircuit& ckt, double x, double y) {
+    for (std::size_t i = 0; i < 4; ++i) {
+        auto& src = ckt.netlist.get<spice::VoltageSource>(ckt.v_inputs[i]);
+        src.set_waveform(DcWaveform(ckt.config.leg_gate_voltage(i, x, y)));
+    }
+}
+} // namespace
+
+double comparator_differential(ComparatorCircuit& ckt, double x, double y) {
+    drive_inputs(ckt, x, y);
+    const auto op = spice::dc_operating_point(ckt.netlist);
+    return op.voltage(ckt.out_right) - op.voltage(ckt.out_left);
+}
+
+bool comparator_decision(ComparatorCircuit& ckt, double x, double y) {
+    return comparator_differential(ckt, x, y) > 0.0;
+}
+
+} // namespace xysig::monitor

@@ -1,0 +1,60 @@
+#ifndef XYSIG_MONITOR_COMPARATOR_NETLIST_H
+#define XYSIG_MONITOR_COMPARATOR_NETLIST_H
+
+/// \file comparator_netlist.h
+/// Transistor-level netlist of the paper's Fig. 2 monitor: four nMOS input
+/// devices (M1, M2 | M3, M4, source-grounded), pMOS active loads (M5, M8)
+/// and a cross-coupled pMOS pair (M6, M7) boosting the gain. Used to
+/// cross-validate the closed-form MosCurrentBoundary: away from the control
+/// curve, sign(v(out2) - v(out1)) of the solved circuit must equal the
+/// boundary's current-difference sign.
+///
+/// The cross-coupled pair is sized at feedback_ratio * load width. The
+/// paper's silicon uses equal sizes (regenerative limit) plus a high-gain
+/// output stage; simulations default to 0.8 so the DC solution stays unique
+/// (see DESIGN.md).
+
+#include <string>
+
+#include "monitor/mos_boundary.h"
+#include "spice/netlist.h"
+
+namespace xysig::monitor {
+
+/// Electrical choices for the comparator build.
+struct ComparatorOptions {
+    double vdd = 1.2;
+    double load_width = 2e-6;    ///< W of M5/M8
+    double feedback_ratio = 0.8; ///< W(M6,M7) / W(M5,M8)
+    double load_vt0 = 0.30;      ///< |Vt| of the pMOS devices
+    double load_kp = 100e-6;     ///< pMOS kp (lower hole mobility)
+};
+
+/// A built comparator with the handles needed to drive and read it.
+struct ComparatorCircuit {
+    spice::Netlist netlist;
+    std::string v_inputs[4] = {"V1", "V2", "V3", "V4"};
+    std::string out_left = "vout1";  ///< drains of M1, M2
+    std::string out_right = "vout2"; ///< drains of M3, M4
+    MonitorConfig config;
+    ComparatorOptions options;
+};
+
+/// Builds the Fig. 2 circuit for a monitor configuration. The four input
+/// sources are created at 0 V; drive them per plane point before solving.
+[[nodiscard]] ComparatorCircuit build_comparator(const MonitorConfig& config,
+                                                 const ComparatorOptions& options = {});
+
+/// Solves the comparator DC point with the inputs set for (x, y) and
+/// returns the raw decision: true when v(out2) > v(out1), which corresponds
+/// to I_left > I_right (more left current pulls out1 low). Compare with
+/// MosCurrentBoundary::current_difference's sign.
+[[nodiscard]] bool comparator_decision(ComparatorCircuit& ckt, double x, double y);
+
+/// Differential output voltage v(out2) - v(out1) at (x, y).
+[[nodiscard]] double comparator_differential(ComparatorCircuit& ckt, double x,
+                                             double y);
+
+} // namespace xysig::monitor
+
+#endif // XYSIG_MONITOR_COMPARATOR_NETLIST_H

@@ -1,0 +1,79 @@
+#include "monitor/mos_boundary.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace xysig::monitor {
+
+double MonitorConfig::leg_gate_voltage(std::size_t leg, double x, double y) const {
+    XYSIG_EXPECTS(leg < legs.size());
+    switch (legs[leg].input) {
+    case MonitorInput::x_axis:
+        return x;
+    case MonitorInput::y_axis:
+        return y;
+    case MonitorInput::dc:
+        return legs[leg].dc_level;
+    }
+    return 0.0; // unreachable
+}
+
+double MonitorConfig::leg_current(std::size_t leg, double x, double y) const {
+    XYSIG_EXPECTS(leg < legs.size());
+    const MonitorLeg& l = legs[leg];
+    spice::MosParams p = device;
+    p.w = l.width;
+    p.vt0 = device.vt0 + l.vt0_delta;
+    p.kp = device.kp * l.kp_scale;
+    const double vgs = leg_gate_voltage(leg, x, y);
+    return spice::mos_evaluate(p, vgs, vds_eval).id;
+}
+
+namespace {
+constexpr double kRefX = 0.05; // orientation fallback (see DESIGN.md)
+constexpr double kRefY = 0.0;
+} // namespace
+
+MosCurrentBoundary::MosCurrentBoundary(MonitorConfig config)
+    : config_(std::move(config)), orientation_(1.0) {
+    XYSIG_EXPECTS(config_.vds_eval > 0.0);
+    for (const auto& leg : config_.legs)
+        XYSIG_EXPECTS(leg.width > 0.0);
+
+    double at_origin = current_difference(0.0, 0.0);
+    // Subthreshold leakage never cancels exactly unless the configuration is
+    // symmetric (e.g. Table I curve 6); treat tiny values as "on the curve".
+    const double scale = std::abs(current_difference(0.5, 0.5)) + 1e-12;
+    if (std::abs(at_origin) < 1e-9 * scale)
+        at_origin = current_difference(kRefX, kRefY);
+    XYSIG_EXPECTS(at_origin != 0.0);
+    orientation_ = (at_origin > 0.0) ? -1.0 : 1.0;
+}
+
+double MosCurrentBoundary::current_difference(double x, double y) const {
+    return config_.leg_current(0, x, y) + config_.leg_current(1, x, y) -
+           config_.leg_current(2, x, y) - config_.leg_current(3, x, y) +
+           config_.offset_current;
+}
+
+double MosCurrentBoundary::h(double x, double y) const {
+    return orientation_ * current_difference(x, y);
+}
+
+MonitorConfig perturb_monitor(const MonitorConfig& config,
+                              const mc::PelgromModel& mismatch,
+                              const mc::ProcessVariation& process, Rng& rng) {
+    MonitorConfig out = config;
+    const mc::ProcessSample ps = mc::sample_process(process, rng);
+    for (auto& leg : out.legs) {
+        const double sigma_vt = mismatch.sigma_vt(leg.width, config.device.l);
+        const double sigma_beta = mismatch.sigma_beta_rel(leg.width, config.device.l);
+        leg.vt0_delta += ps.delta_vt0 + rng.normal(0.0, sigma_vt);
+        leg.kp_scale *= ps.kp_scale * (1.0 + rng.normal(0.0, sigma_beta));
+    }
+    out.offset_current += rng.normal(0.0, process.sigma_offset_current);
+    return out;
+}
+
+} // namespace xysig::monitor

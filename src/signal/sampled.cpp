@@ -1,0 +1,108 @@
+#include "signal/sampled.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+
+namespace xysig {
+
+SampledSignal::SampledSignal(double start_time, double dt, std::vector<double> samples)
+    : start_time_(start_time), dt_(dt), samples_(std::move(samples)) {
+    XYSIG_EXPECTS(dt > 0.0);
+}
+
+SampledSignal SampledSignal::from_waveform(const Waveform& w, double t0,
+                                           double duration, std::size_t n) {
+    XYSIG_EXPECTS(duration > 0.0);
+    XYSIG_EXPECTS(n >= 2);
+    const double dt = duration / static_cast<double>(n);
+    std::vector<double> samples(n);
+    for (std::size_t i = 0; i < n; ++i)
+        samples[i] = w.value(t0 + static_cast<double>(i) * dt);
+    return SampledSignal(t0, dt, std::move(samples));
+}
+
+double SampledSignal::time_at(std::size_t i) const {
+    XYSIG_EXPECTS(i < samples_.size());
+    return start_time_ + static_cast<double>(i) * dt_;
+}
+
+double SampledSignal::operator[](std::size_t i) const {
+    XYSIG_EXPECTS(i < samples_.size());
+    return samples_[i];
+}
+
+double SampledSignal::value_at(double t) const {
+    XYSIG_EXPECTS(!samples_.empty());
+    const double pos = (t - start_time_) / dt_;
+    if (pos <= 0.0)
+        return samples_.front();
+    if (pos >= static_cast<double>(samples_.size() - 1))
+        return samples_.back();
+    const auto i = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(i);
+    return samples_[i] + frac * (samples_[i + 1] - samples_[i]);
+}
+
+double SampledSignal::rms() const {
+    XYSIG_EXPECTS(!samples_.empty());
+    double acc = 0.0;
+    for (double s : samples_)
+        acc += s * s;
+    return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double SampledSignal::min() const {
+    XYSIG_EXPECTS(!samples_.empty());
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampledSignal::max() const {
+    XYSIG_EXPECTS(!samples_.empty());
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+SampledSignal SampledSignal::slice_time(double t_begin, double t_end) const {
+    XYSIG_EXPECTS(t_end > t_begin);
+    std::vector<double> out;
+    double new_start = t_begin;
+    bool first = true;
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        const double t = time_at(i);
+        if (t >= t_begin && t < t_end) {
+            if (first) {
+                new_start = t;
+                first = false;
+            }
+            out.push_back(samples_[i]);
+        }
+    }
+    XYSIG_ENSURES(!out.empty());
+    return SampledSignal(new_start, dt_, std::move(out));
+}
+
+void SampledSignal::add_white_noise(Rng& rng, double sigma) {
+    XYSIG_EXPECTS(sigma >= 0.0);
+    for (double& s : samples_)
+        s += rng.normal(0.0, sigma);
+}
+
+XyTrace::XyTrace(SampledSignal x, SampledSignal y) : x_(std::move(x)), y_(std::move(y)) {
+    XYSIG_EXPECTS(x_.size() == y_.size());
+    XYSIG_EXPECTS(x_.size() >= 2);
+    XYSIG_EXPECTS(x_.dt() == y_.dt());
+    XYSIG_EXPECTS(x_.start_time() == y_.start_time());
+}
+
+XyTrace::Box XyTrace::bounding_box() const {
+    return Box{x_.min(), x_.max(), y_.min(), y_.max()};
+}
+
+void XyTrace::add_white_noise(Rng& rng, double sigma) {
+    x_.add_white_noise(rng, sigma);
+    y_.add_white_noise(rng, sigma);
+}
+
+} // namespace xysig

@@ -1,0 +1,130 @@
+#include "signal/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace xysig {
+
+SineWaveform::SineWaveform(double offset, double amplitude, double frequency_hz,
+                           double phase_rad)
+    : offset_(offset), amplitude_(amplitude), frequency_hz_(frequency_hz),
+      phase_rad_(phase_rad) {
+    XYSIG_EXPECTS(frequency_hz > 0.0);
+}
+
+double SineWaveform::value(double t) const {
+    return offset_ + amplitude_ * std::sin(kTwoPi * frequency_hz_ * t + phase_rad_);
+}
+
+double SineWaveform::period() const { return 1.0 / frequency_hz_; }
+
+double common_period(const std::vector<double>& frequencies_hz) {
+    if (frequencies_hz.empty())
+        throw NumericError("common_period: empty frequency set");
+    for (double f : frequencies_hz)
+        if (!(f > 0.0))
+            throw NumericError("common_period: non-positive frequency");
+
+    // Express every frequency as a rational multiple of the first. The
+    // common period is T1 * lcm(denominators of the ratios) / gcd-structure:
+    // if f_i/f_1 = p_i/q_i then T = (1/f_1) * lcm(q_i) ... but we also need
+    // the result to be a multiple of every T_i, handled by tracking the
+    // period ratio T_i/T_1 = q_i/p_i and taking the rational lcm.
+    const double f1 = frequencies_hz.front();
+    std::int64_t num_lcm = 1; // lcm of period-ratio numerators (q_i)
+    std::int64_t den_gcd = 1; // gcd of period-ratio denominators (p_i)
+    bool first = true;
+    for (double f : frequencies_hz) {
+        const Rational ratio = to_rational(f / f1);
+        if (ratio.num() == 0)
+            throw NumericError("common_period: frequency ratio underflow");
+        // T_i / T_1 = q/p with ratio = p/q.
+        const std::int64_t q = ratio.den();
+        const std::int64_t p = ratio.num();
+        if (first) {
+            num_lcm = q;
+            den_gcd = p;
+            first = false;
+        } else {
+            num_lcm = lcm_i64(num_lcm, q);
+            den_gcd = gcd_i64(den_gcd, p);
+        }
+    }
+    const double t1 = 1.0 / f1;
+    return t1 * static_cast<double>(num_lcm) / static_cast<double>(den_gcd);
+}
+
+MultitoneWaveform::MultitoneWaveform(double offset, std::vector<Tone> tones)
+    : offset_(offset), tones_(std::move(tones)) {
+    XYSIG_EXPECTS(!tones_.empty());
+    std::vector<double> freqs;
+    freqs.reserve(tones_.size());
+    for (const auto& tone : tones_) {
+        XYSIG_EXPECTS(tone.frequency_hz > 0.0);
+        freqs.push_back(tone.frequency_hz);
+    }
+    period_ = common_period(freqs);
+}
+
+double MultitoneWaveform::value(double t) const {
+    double acc = offset_;
+    for (const auto& tone : tones_)
+        acc += tone.amplitude * std::sin(kTwoPi * tone.frequency_hz * t + tone.phase_rad);
+    return acc;
+}
+
+double MultitoneWaveform::max_abs_excursion() const noexcept {
+    double acc = 0.0;
+    for (const auto& tone : tones_)
+        acc += std::abs(tone.amplitude);
+    return acc;
+}
+
+PwlWaveform::PwlWaveform(std::vector<Point> points) : points_(std::move(points)) {
+    XYSIG_EXPECTS(!points_.empty());
+    for (std::size_t i = 1; i < points_.size(); ++i)
+        XYSIG_EXPECTS(points_[i].t > points_[i - 1].t);
+}
+
+double PwlWaveform::value(double t) const {
+    if (t <= points_.front().t)
+        return points_.front().v;
+    if (t >= points_.back().t)
+        return points_.back().v;
+    // Binary search for the segment containing t.
+    const auto it = std::upper_bound(
+        points_.begin(), points_.end(), t,
+        [](double lhs, const Point& rhs) { return lhs < rhs.t; });
+    const Point& hi = *it;
+    const Point& lo = *(it - 1);
+    const double frac = (t - lo.t) / (hi.t - lo.t);
+    return lerp(lo.v, hi.v, frac);
+}
+
+PulseWaveform::PulseWaveform(double v1, double v2, double delay, double rise,
+                             double fall, double width, double period)
+    : v1_(v1), v2_(v2), delay_(delay), rise_(rise), fall_(fall), width_(width),
+      period_(period) {
+    XYSIG_EXPECTS(rise >= 0.0 && fall >= 0.0 && width >= 0.0);
+    XYSIG_EXPECTS(period > 0.0);
+    XYSIG_EXPECTS(rise + width + fall <= period);
+}
+
+double PulseWaveform::value(double t) const {
+    if (t < delay_)
+        return v1_;
+    const double tp = std::fmod(t - delay_, period_);
+    if (tp < rise_)
+        return rise_ == 0.0 ? v2_ : lerp(v1_, v2_, tp / rise_);
+    if (tp < rise_ + width_)
+        return v2_;
+    if (tp < rise_ + width_ + fall_)
+        return fall_ == 0.0 ? v1_ : lerp(v2_, v1_, (tp - rise_ - width_) / fall_);
+    return v1_;
+}
+
+} // namespace xysig

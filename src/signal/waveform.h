@@ -1,0 +1,154 @@
+#ifndef XYSIG_SIGNAL_WAVEFORM_H
+#define XYSIG_SIGNAL_WAVEFORM_H
+
+/// \file waveform.h
+/// Continuous-time stimulus descriptions.
+///
+/// A Waveform is an analytic function of time used both as a SPICE source
+/// value and as the direct input of behavioural CUT models. The multitone
+/// waveform is the paper's stimulus: the Lissajous trace is periodic exactly
+/// when all tone frequencies are commensurable, and MultitoneWaveform
+/// computes that common period exactly over rationals.
+
+#include <memory>
+#include <vector>
+
+namespace xysig {
+
+/// A real-valued function of time with an optional period.
+class Waveform {
+public:
+    virtual ~Waveform() = default;
+
+    /// Value at time t (seconds).
+    [[nodiscard]] virtual double value(double t) const = 0;
+
+    /// Fundamental period in seconds; 0 means constant / aperiodic.
+    [[nodiscard]] virtual double period() const = 0;
+
+    /// Deep copy (waveforms are cheap value-like objects held behind the
+    /// interface; netlists clone their sources on copy).
+    [[nodiscard]] virtual std::unique_ptr<Waveform> clone() const = 0;
+
+protected:
+    Waveform() = default;
+    Waveform(const Waveform&) = default;
+    Waveform& operator=(const Waveform&) = default;
+};
+
+/// Constant level.
+class DcWaveform final : public Waveform {
+public:
+    explicit DcWaveform(double level) : level_(level) {}
+    [[nodiscard]] double value(double) const override { return level_; }
+    [[nodiscard]] double period() const override { return 0.0; }
+    [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+        return std::make_unique<DcWaveform>(*this);
+    }
+
+private:
+    double level_;
+};
+
+/// offset + amplitude * sin(2*pi*frequency*t + phase).
+class SineWaveform final : public Waveform {
+public:
+    SineWaveform(double offset, double amplitude, double frequency_hz,
+                 double phase_rad = 0.0);
+    [[nodiscard]] double value(double t) const override;
+    [[nodiscard]] double period() const override;
+    [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+        return std::make_unique<SineWaveform>(*this);
+    }
+
+    [[nodiscard]] double frequency() const noexcept { return frequency_hz_; }
+    [[nodiscard]] double amplitude() const noexcept { return amplitude_; }
+
+private:
+    double offset_;
+    double amplitude_;
+    double frequency_hz_;
+    double phase_rad_;
+};
+
+/// One tone of a multitone stimulus.
+struct Tone {
+    double amplitude = 0.0;
+    double frequency_hz = 0.0;
+    double phase_rad = 0.0;
+};
+
+/// offset + sum of sinusoidal tones. The paper's Biquad experiments use a
+/// two-tone stimulus whose composition with the filter output draws the
+/// Lissajous curve of Fig. 1 / Fig. 6.
+class MultitoneWaveform final : public Waveform {
+public:
+    MultitoneWaveform(double offset, std::vector<Tone> tones);
+
+    [[nodiscard]] double value(double t) const override;
+    /// Exact common period of all tones (least common multiple of the tone
+    /// periods, computed over rationals). Throws NumericError when the tone
+    /// frequencies are not commensurable within 1e-9 relative accuracy.
+    [[nodiscard]] double period() const override { return period_; }
+    [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+        return std::make_unique<MultitoneWaveform>(*this);
+    }
+
+    [[nodiscard]] const std::vector<Tone>& tones() const noexcept { return tones_; }
+    [[nodiscard]] double offset() const noexcept { return offset_; }
+
+    /// Peak-to-peak bound: offset +/- sum of |amplitudes| (reached only if
+    /// phases align, but a safe bound for range checks).
+    [[nodiscard]] double max_abs_excursion() const noexcept;
+
+private:
+    double offset_;
+    std::vector<Tone> tones_;
+    double period_;
+};
+
+/// Piecewise-linear waveform through (t, v) breakpoints; constant before the
+/// first and after the last breakpoint (SPICE PWL semantics).
+class PwlWaveform final : public Waveform {
+public:
+    struct Point {
+        double t;
+        double v;
+    };
+    explicit PwlWaveform(std::vector<Point> points);
+
+    [[nodiscard]] double value(double t) const override;
+    [[nodiscard]] double period() const override { return 0.0; }
+    [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+        return std::make_unique<PwlWaveform>(*this);
+    }
+
+private:
+    std::vector<Point> points_;
+};
+
+/// SPICE-style pulse: v1 -> v2 with delay, rise, fall, width, period.
+class PulseWaveform final : public Waveform {
+public:
+    PulseWaveform(double v1, double v2, double delay, double rise, double fall,
+                  double width, double period);
+
+    [[nodiscard]] double value(double t) const override;
+    [[nodiscard]] double period() const override { return period_; }
+    [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+        return std::make_unique<PulseWaveform>(*this);
+    }
+
+private:
+    double v1_, v2_, delay_, rise_, fall_, width_, period_;
+};
+
+/// Common period (seconds) of a set of frequencies (Hz); the Lissajous
+/// period of signals containing exactly these tones. Throws NumericError if
+/// the set is empty, contains non-positive frequencies, or is
+/// incommensurable within the rational approximation bound.
+[[nodiscard]] double common_period(const std::vector<double>& frequencies_hz);
+
+} // namespace xysig
+
+#endif // XYSIG_SIGNAL_WAVEFORM_H

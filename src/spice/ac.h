@@ -1,0 +1,50 @@
+#ifndef XYSIG_SPICE_AC_H
+#define XYSIG_SPICE_AC_H
+
+/// \file ac.h
+/// Small-signal AC sweep: linearises the circuit at its DC operating point
+/// and solves the complex MNA system over a log-spaced frequency grid.
+
+#include <complex>
+#include <vector>
+
+#include "spice/netlist.h"
+#include "spice/types.h"
+
+namespace xysig::spice {
+
+/// Complex node responses per frequency point.
+class AcResult {
+public:
+    explicit AcResult(const Netlist& nl) : netlist_(&nl) {}
+
+    [[nodiscard]] std::span<const double> frequencies() const noexcept {
+        return freq_hz_;
+    }
+    [[nodiscard]] std::size_t point_count() const noexcept { return freq_hz_.size(); }
+
+    [[nodiscard]] std::complex<double> voltage(NodeId node, std::size_t point) const;
+    [[nodiscard]] std::complex<double> voltage(const std::string& node,
+                                               std::size_t point) const;
+
+    /// |V(node)| over the whole sweep.
+    [[nodiscard]] std::vector<double> magnitude(const std::string& node) const;
+    /// Phase (radians) over the whole sweep.
+    [[nodiscard]] std::vector<double> phase(const std::string& node) const;
+
+    /// Called by the engine only.
+    void append(double f_hz, std::vector<std::complex<double>> x);
+
+private:
+    const Netlist* netlist_;
+    std::vector<double> freq_hz_;
+    std::vector<std::vector<std::complex<double>>> rows_;
+};
+
+/// Runs the AC sweep. Exactly the sources with a non-zero AC magnitude
+/// drive the small-signal circuit.
+[[nodiscard]] AcResult run_ac(const Netlist& nl, const AcOptions& opts);
+
+} // namespace xysig::spice
+
+#endif // XYSIG_SPICE_AC_H

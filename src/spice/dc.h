@@ -1,0 +1,62 @@
+#ifndef XYSIG_SPICE_DC_H
+#define XYSIG_SPICE_DC_H
+
+/// \file dc.h
+/// Nonlinear DC solution: damped Newton-Raphson with gmin stepping and
+/// source stepping fallbacks (the standard SPICE convergence ladder).
+
+#include <vector>
+
+#include "spice/netlist.h"
+#include "spice/types.h"
+
+namespace xysig::spice {
+
+/// A solved operating point. Holds the full unknown vector; node voltages
+/// are looked up through the originating netlist's node ids.
+class OperatingPoint {
+public:
+    OperatingPoint(const Netlist& nl, std::vector<double> x);
+
+    [[nodiscard]] double voltage(NodeId node) const;
+    [[nodiscard]] double voltage(const std::string& node_name) const;
+    [[nodiscard]] std::span<const double> unknowns() const noexcept { return x_; }
+
+    /// Diagnostics filled in by dc_operating_point().
+    int newton_iterations = 0;
+    bool used_gmin_stepping = false;
+    bool used_source_stepping = false;
+
+private:
+    const Netlist* netlist_;
+    std::vector<double> x_;
+};
+
+/// Solves the DC operating point with sources evaluated at the given time.
+/// Throws NumericError when all convergence aids fail.
+[[nodiscard]] OperatingPoint dc_operating_point(const Netlist& nl,
+                                                const DcOptions& opts = {},
+                                                double time = 0.0);
+
+/// DC transfer sweep: sets the named VoltageSource to each level in turn
+/// (warm-starting Newton from the previous solution) and records the voltage
+/// of the probe node.
+[[nodiscard]] std::vector<double> dc_sweep(Netlist& nl, const std::string& source_name,
+                                           std::span<const double> levels,
+                                           const std::string& probe_node,
+                                           const DcOptions& opts = {});
+
+namespace detail {
+
+/// One damped-Newton solve at fixed gmin / source_scale; x is the initial
+/// guess on entry and the solution on success. Returns iterations used, or
+/// -1 when not converged (including singular-matrix failures).
+int newton_solve(const Netlist& nl, std::vector<double>& x, std::size_t n_unknowns,
+                 const NewtonOptions& opts, AnalysisMode mode, Integrator integrator,
+                 double time, double dt, double gmin, double source_scale);
+
+} // namespace detail
+
+} // namespace xysig::spice
+
+#endif // XYSIG_SPICE_DC_H

@@ -1,0 +1,84 @@
+#ifndef XYSIG_SPICE_MOSFET_H
+#define XYSIG_SPICE_MOSFET_H
+
+/// \file mosfet.h
+/// MOSFET models.
+///
+/// Two models are provided:
+///  * EKV long-channel (default): a single smooth expression covering weak,
+///    moderate and strong inversion. In strong-inversion saturation it
+///    reduces to the quasi-quadratic law ID ~ (kp/2n)(W/L)(VGS-VT0)^2 that
+///    the paper's monitor exploits to draw nonlinear zone boundaries, and in
+///    weak inversion it is exponential — which is exactly the paper's
+///    explanation for the boundary-curve distortion at small input voltages
+///    (Fig. 4, curve 6). Smoothness keeps Newton-Raphson robust.
+///  * Level-1 (Shichman-Hodges): the classic piecewise square-law model,
+///    kept as an independent cross-check of the EKV implementation.
+///
+/// mos_evaluate() is a free function so the monitor library can evaluate the
+/// same physics without building a netlist.
+
+#include "spice/device.h"
+
+namespace xysig::spice {
+
+enum class MosType { nmos, pmos };
+enum class MosModel { ekv, level1 };
+
+/// Process + geometry parameters of one transistor.
+///
+/// Defaults approximate a 65 nm low-Vt NMOS biased far from minimum length
+/// (the paper uses L = 180 nm input devices): VT0 0.30 V, n 1.35,
+/// kp 250 uA/V^2, lambda 0.1 V^-1.
+struct MosParams {
+    MosType type = MosType::nmos;
+    MosModel model = MosModel::ekv;
+    double w = 1e-6;      ///< channel width (m)
+    double l = 180e-9;    ///< channel length (m)
+    double vt0 = 0.30;    ///< threshold voltage magnitude (V)
+    double kp = 250e-6;   ///< transconductance parameter k' = mu*Cox (A/V^2)
+    double n_slope = 1.35;///< subthreshold slope factor
+    double lambda = 0.1;  ///< channel-length modulation (1/V)
+
+    [[nodiscard]] double aspect_ratio() const noexcept { return w / l; }
+};
+
+/// Drain current and small-signal derivatives at one bias point.
+struct MosEval {
+    double id = 0.0;  ///< current into the drain terminal (A)
+    double gm = 0.0;  ///< d id / d vgs
+    double gds = 0.0; ///< d id / d vds
+};
+
+/// Evaluates the drain current of a MOSFET at (vgs, vds), both measured at
+/// the device terminals (for pMOS they are normally negative in conduction).
+/// Works for either sign of vds (source/drain symmetry).
+[[nodiscard]] MosEval mos_evaluate(const MosParams& p, double vgs, double vds);
+
+/// Three-terminal MOSFET device (bulk tied to source; the monitor circuit
+/// operates all input devices source-grounded, so body effect is not
+/// exercised by this project's circuits).
+class Mosfet final : public Device {
+public:
+    /// Node order: drain, gate, source.
+    Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source,
+           MosParams params);
+
+    [[nodiscard]] bool is_nonlinear() const override { return true; }
+    void stamp(StampContext& ctx) const override;
+    void stamp_ac(AcStampContext& ctx) const override;
+
+    [[nodiscard]] const MosParams& params() const noexcept { return params_; }
+    /// Parameter update used by Monte-Carlo (process/mismatch sampling).
+    void set_params(const MosParams& p) noexcept { params_ = p; }
+
+    /// Drain current in a given solution vector.
+    [[nodiscard]] double drain_current(std::span<const double> x) const;
+
+private:
+    MosParams params_;
+};
+
+} // namespace xysig::spice
+
+#endif // XYSIG_SPICE_MOSFET_H

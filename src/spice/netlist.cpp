@@ -1,0 +1,84 @@
+#include "spice/netlist.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+#include "common/strings.h"
+
+namespace xysig::spice {
+
+Netlist::Netlist() {
+    names_.push_back("0");
+    ids_.emplace("0", kGround);
+    ids_.emplace("gnd", kGround);
+}
+
+NodeId Netlist::node(const std::string& name) {
+    XYSIG_EXPECTS(!name.empty());
+    const std::string key = to_lower(name);
+    const auto it = ids_.find(key);
+    if (it != ids_.end())
+        return it->second;
+    const auto id = static_cast<NodeId>(names_.size());
+    names_.push_back(name);
+    ids_.emplace(key, id);
+    return id;
+}
+
+NodeId Netlist::find_node(const std::string& name) const {
+    const auto it = ids_.find(to_lower(name));
+    if (it == ids_.end())
+        throw InvalidInput("Netlist: unknown node '" + name + "'");
+    return it->second;
+}
+
+const std::string& Netlist::node_name(NodeId id) const {
+    XYSIG_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < names_.size());
+    return names_[static_cast<std::size_t>(id)];
+}
+
+void Netlist::register_device(std::unique_ptr<Device> dev) {
+    XYSIG_EXPECTS(dev != nullptr);
+    for (const NodeId n : dev->nodes())
+        XYSIG_EXPECTS(static_cast<std::size_t>(n) < names_.size());
+    const auto [it, inserted] = device_index_.emplace(dev->name(), devices_.size());
+    if (!inserted)
+        throw InvalidInput("Netlist: duplicate device name '" + dev->name() + "'");
+    devices_.push_back(std::move(dev));
+}
+
+Device* Netlist::find_device(const std::string& name) const {
+    const auto it = device_index_.find(name);
+    if (it == device_index_.end())
+        return nullptr;
+    return devices_[it->second].get();
+}
+
+std::size_t Netlist::assign_unknowns() const {
+    std::size_t next = node_count() - 1;
+    for (const auto& dev : devices_) {
+        const int extras = dev->extra_variable_count();
+        XYSIG_ASSERT(extras >= 0);
+        if (extras > 0)
+            dev->set_extra_base(static_cast<int>(next));
+        next += static_cast<std::size_t>(extras);
+    }
+    return next;
+}
+
+void Netlist::validate() const {
+    std::vector<bool> touched(node_count(), false);
+    touched[0] = true;
+    for (const auto& dev : devices_)
+        for (const NodeId n : dev->nodes())
+            touched[static_cast<std::size_t>(n)] = true;
+    for (std::size_t i = 0; i < touched.size(); ++i) {
+        if (!touched[i])
+            throw InvalidInput("Netlist: node '" + names_[i] +
+                               "' is not connected to any device");
+    }
+    if (devices_.empty())
+        throw InvalidInput("Netlist: empty circuit");
+}
+
+} // namespace xysig::spice

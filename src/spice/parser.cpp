@@ -1,0 +1,312 @@
+#include "spice/parser.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/contracts.h"
+#include "common/math_util.h"
+#include "common/strings.h"
+#include "spice/diode.h"
+#include "spice/elements.h"
+#include "spice/mosfet.h"
+
+namespace xysig::spice {
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& message) {
+    throw InvalidInput("deck line " + std::to_string(line_no) + ": " + message);
+}
+
+/// "key=value" pairs at the tail of a card; keys lowercased.
+std::map<std::string, double> parse_kv(const std::vector<std::string>& tokens,
+                                       std::size_t first, int line_no) {
+    std::map<std::string, double> kv;
+    for (std::size_t i = first; i < tokens.size(); ++i) {
+        const auto eq = tokens[i].find('=');
+        if (eq == std::string::npos)
+            fail(line_no, "expected key=value, got '" + tokens[i] + "'");
+        const std::string key = to_lower(tokens[i].substr(0, eq));
+        const std::string value = tokens[i].substr(eq + 1);
+        if (key.empty() || value.empty())
+            fail(line_no, "malformed key=value '" + tokens[i] + "'");
+        try {
+            kv[key] = parse_spice_number(value);
+        } catch (const InvalidInput&) {
+            // Non-numeric values (e.g. LEVEL=EKV) are handled by the caller.
+            kv[key] = std::nan("");
+        }
+    }
+    return kv;
+}
+
+/// Collects the arguments of a function-style source spec:
+/// tokens like "SIN(0.5" "0.3" "5k)" -> {0.5, 0.3, 5000}.
+std::vector<double> function_args(const std::vector<std::string>& tokens,
+                                  std::size_t first, int line_no,
+                                  std::size_t* consumed) {
+    std::string joined;
+    std::size_t i = first;
+    bool closed = false;
+    for (; i < tokens.size(); ++i) {
+        joined += tokens[i];
+        joined += ' ';
+        if (tokens[i].find(')') != std::string::npos) {
+            closed = true;
+            ++i;
+            break;
+        }
+    }
+    if (!closed)
+        fail(line_no, "unterminated source specification");
+    *consumed = i;
+
+    const auto open = joined.find('(');
+    const auto close = joined.rfind(')');
+    XYSIG_ASSERT(open != std::string::npos && close != std::string::npos);
+    const std::string inner = joined.substr(open + 1, close - open - 1);
+    std::vector<double> args;
+    for (const auto& tok : split(inner, " \t,"))
+        args.push_back(parse_spice_number(tok));
+    return args;
+}
+
+/// Builds the waveform of a V/I source card starting at tokens[first].
+/// Returns the token index after the consumed spec.
+std::size_t parse_source_spec(const std::vector<std::string>& tokens,
+                              std::size_t first, int line_no,
+                              std::unique_ptr<Waveform>* out) {
+    if (first >= tokens.size())
+        fail(line_no, "missing source value");
+    const std::string head = to_lower(tokens[first]);
+
+    if (starts_with(head, "sin")) {
+        std::size_t consumed = 0;
+        const auto args = function_args(tokens, first, line_no, &consumed);
+        if (args.size() < 3 || args.size() > 4)
+            fail(line_no, "SIN expects (offset amplitude freq [phase_deg])");
+        const double phase =
+            args.size() == 4 ? args[3] * kPi / 180.0 : 0.0;
+        *out = std::make_unique<SineWaveform>(args[0], args[1], args[2], phase);
+        return consumed;
+    }
+    if (starts_with(head, "pulse")) {
+        std::size_t consumed = 0;
+        const auto args = function_args(tokens, first, line_no, &consumed);
+        if (args.size() != 7)
+            fail(line_no, "PULSE expects (v1 v2 delay rise fall width period)");
+        *out = std::make_unique<PulseWaveform>(args[0], args[1], args[2], args[3],
+                                               args[4], args[5], args[6]);
+        return consumed;
+    }
+    if (starts_with(head, "pwl")) {
+        std::size_t consumed = 0;
+        const auto args = function_args(tokens, first, line_no, &consumed);
+        if (args.size() < 2 || args.size() % 2 != 0)
+            fail(line_no, "PWL expects an even number of t/v values");
+        std::vector<PwlWaveform::Point> points;
+        for (std::size_t i = 0; i < args.size(); i += 2)
+            points.push_back({args[i], args[i + 1]});
+        *out = std::make_unique<PwlWaveform>(std::move(points));
+        return consumed;
+    }
+    // Plain DC level.
+    *out = std::make_unique<DcWaveform>(parse_spice_number(tokens[first]));
+    return first + 1;
+}
+
+struct ModelCard {
+    MosParams params;
+};
+
+} // namespace
+
+Netlist parse_deck(std::string_view deck) {
+    Netlist nl;
+    std::map<std::string, ModelCard> models;
+
+    // Two passes: .MODEL cards first so device order does not matter.
+    std::istringstream stream_models{std::string(deck)};
+    std::string raw;
+    int line_no = 0;
+    bool first_line = true;
+    while (std::getline(stream_models, raw)) {
+        ++line_no;
+        const std::string_view line = trim(raw);
+        if (first_line) {
+            first_line = false;
+            continue; // title
+        }
+        if (line.empty() || line.front() == '*')
+            continue;
+        const auto tokens = split(line);
+        if (!iequals(tokens[0], ".model"))
+            continue;
+        if (tokens.size() < 3)
+            fail(line_no, ".MODEL needs a name and a type");
+        ModelCard card;
+        const std::string type = to_lower(tokens[2]);
+        if (type == "nmos")
+            card.params.type = MosType::nmos;
+        else if (type == "pmos")
+            card.params.type = MosType::pmos;
+        else
+            fail(line_no, "unknown model type '" + tokens[2] + "'");
+        for (std::size_t i = 3; i < tokens.size(); ++i) {
+            const auto eq = tokens[i].find('=');
+            if (eq == std::string::npos)
+                fail(line_no, "expected key=value in .MODEL");
+            const std::string key = to_lower(tokens[i].substr(0, eq));
+            const std::string value = to_lower(tokens[i].substr(eq + 1));
+            if (key == "level") {
+                if (value == "1")
+                    card.params.model = MosModel::level1;
+                else if (value == "ekv")
+                    card.params.model = MosModel::ekv;
+                else
+                    fail(line_no, "unsupported LEVEL '" + value + "'");
+            } else if (key == "vto" || key == "vt0") {
+                card.params.vt0 = parse_spice_number(value);
+            } else if (key == "kp") {
+                card.params.kp = parse_spice_number(value);
+            } else if (key == "lambda") {
+                card.params.lambda = parse_spice_number(value);
+            } else if (key == "n") {
+                card.params.n_slope = parse_spice_number(value);
+            } else {
+                fail(line_no, "unknown .MODEL parameter '" + key + "'");
+            }
+        }
+        models[to_lower(tokens[1])] = card;
+    }
+
+    std::istringstream stream{std::string(deck)};
+    line_no = 0;
+    first_line = true;
+    while (std::getline(stream, raw)) {
+        ++line_no;
+        const std::string_view line = trim(raw);
+        if (first_line) {
+            first_line = false;
+            continue;
+        }
+        if (line.empty() || line.front() == '*')
+            continue;
+        const auto tokens = split(line);
+        const std::string& name = tokens[0];
+        const char kind = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(name[0])));
+
+        if (kind == '.') {
+            if (iequals(name, ".end"))
+                break;
+            if (iequals(name, ".model"))
+                continue; // handled in the first pass
+            fail(line_no, "unsupported directive '" + name + "'");
+        }
+
+        auto need = [&](std::size_t n, const char* what) {
+            if (tokens.size() < n)
+                fail(line_no, std::string("too few fields for ") + what);
+        };
+
+        switch (kind) {
+        case 'r': {
+            need(4, "resistor");
+            nl.add<Resistor>(name, nl.node(tokens[1]), nl.node(tokens[2]),
+                             parse_spice_number(tokens[3]));
+            break;
+        }
+        case 'c': {
+            need(4, "capacitor");
+            nl.add<Capacitor>(name, nl.node(tokens[1]), nl.node(tokens[2]),
+                              parse_spice_number(tokens[3]));
+            break;
+        }
+        case 'l': {
+            need(4, "inductor");
+            nl.add<Inductor>(name, nl.node(tokens[1]), nl.node(tokens[2]),
+                             parse_spice_number(tokens[3]));
+            break;
+        }
+        case 'v': {
+            need(4, "voltage source");
+            std::unique_ptr<Waveform> wave;
+            std::size_t next = parse_source_spec(tokens, 3, line_no, &wave);
+            auto& src = nl.add<VoltageSource>(name, nl.node(tokens[1]),
+                                              nl.node(tokens[2]), *wave);
+            if (next < tokens.size() && iequals(tokens[next], "ac")) {
+                if (next + 1 >= tokens.size())
+                    fail(line_no, "AC needs a magnitude");
+                const double mag = parse_spice_number(tokens[next + 1]);
+                const double ph =
+                    (next + 2 < tokens.size())
+                        ? parse_spice_number(tokens[next + 2]) * kPi / 180.0
+                        : 0.0;
+                src.set_ac(mag, ph);
+            }
+            break;
+        }
+        case 'i': {
+            need(4, "current source");
+            std::unique_ptr<Waveform> wave;
+            (void)parse_source_spec(tokens, 3, line_no, &wave);
+            nl.add<CurrentSource>(name, nl.node(tokens[1]), nl.node(tokens[2]),
+                                  *wave);
+            break;
+        }
+        case 'e': {
+            need(6, "VCVS");
+            nl.add<Vcvs>(name, nl.node(tokens[1]), nl.node(tokens[2]),
+                         nl.node(tokens[3]), nl.node(tokens[4]),
+                         parse_spice_number(tokens[5]));
+            break;
+        }
+        case 'g': {
+            need(6, "VCCS");
+            nl.add<Vccs>(name, nl.node(tokens[1]), nl.node(tokens[2]),
+                         nl.node(tokens[3]), nl.node(tokens[4]),
+                         parse_spice_number(tokens[5]));
+            break;
+        }
+        case 'd': {
+            need(3, "diode");
+            DiodeParams dp;
+            const auto kv = parse_kv(tokens, 3, line_no);
+            if (const auto it = kv.find("is"); it != kv.end())
+                dp.is = it->second;
+            if (const auto it = kv.find("n"); it != kv.end())
+                dp.n_ideality = it->second;
+            nl.add<Diode>(name, nl.node(tokens[1]), nl.node(tokens[2]), dp);
+            break;
+        }
+        case 'm': {
+            need(5, "MOSFET");
+            const auto model_it = models.find(to_lower(tokens[4]));
+            if (model_it == models.end())
+                fail(line_no, "unknown model '" + tokens[4] + "'");
+            MosParams params = model_it->second.params;
+            const auto kv = parse_kv(tokens, 5, line_no);
+            if (const auto it = kv.find("w"); it != kv.end())
+                params.w = it->second;
+            if (const auto it = kv.find("l"); it != kv.end())
+                params.l = it->second;
+            nl.add<Mosfet>(name, nl.node(tokens[1]), nl.node(tokens[2]),
+                           nl.node(tokens[3]), params);
+            break;
+        }
+        case 'u': {
+            need(4, "opamp");
+            nl.add<IdealOpamp>(name, nl.node(tokens[1]), nl.node(tokens[2]),
+                               nl.node(tokens[3]));
+            break;
+        }
+        default:
+            fail(line_no, "unsupported element '" + name + "'");
+        }
+    }
+    return nl;
+}
+
+} // namespace xysig::spice

@@ -1,0 +1,46 @@
+#ifndef XYSIG_SPICE_PARSER_H
+#define XYSIG_SPICE_PARSER_H
+
+/// \file parser.h
+/// A SPICE-deck parser covering the element set of this engine, so circuits
+/// can be described as text instead of C++ (examples, regression decks,
+/// interchange with other tools).
+///
+/// Supported card set (case-insensitive, engineering suffixes like 4.7k,
+/// 180n, 2meg accepted everywhere a number is expected):
+///
+///   * title line          first line is the deck title (ignored)
+///   * Rname n1 n2 value
+///   * Cname n1 n2 value
+///   * Lname n1 n2 value
+///   * Vname n+ n- value               DC source
+///   * Vname n+ n- SIN(off amp freq [phase_deg])
+///   * Vname n+ n- PULSE(v1 v2 delay rise fall width period)
+///   * Vname n+ n- PWL(t1 v1 t2 v2 ...)
+///   * Vname n+ n- ... AC mag [phase_deg]   appended AC spec
+///   * Iname n+ n- value
+///   * Ename p n cp cn gain            VCVS
+///   * Gname p n cp cn gm              VCCS
+///   * Dname anode cathode [IS=..] [N=..]
+///   * Mname d g s MODELNAME [W=..] [L=..]
+///   * Uname inp inn out               ideal opamp (xysig extension)
+///   * .MODEL name NMOS|PMOS [VTO=..] [KP=..] [LAMBDA=..] [N=..]
+///                 [LEVEL=1|EKV]
+///   * * comment / blank lines         ignored
+///   * .END                            optional terminator
+///
+/// Unknown cards raise InvalidInput with the line number.
+
+#include <string_view>
+
+#include "spice/netlist.h"
+
+namespace xysig::spice {
+
+/// Parses a whole deck into a netlist. Throws InvalidInput with a
+/// line-numbered message on any malformed card.
+[[nodiscard]] Netlist parse_deck(std::string_view deck);
+
+} // namespace xysig::spice
+
+#endif // XYSIG_SPICE_PARSER_H

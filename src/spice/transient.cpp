@@ -1,0 +1,208 @@
+#include "spice/transient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.h"
+
+namespace xysig::spice {
+
+TransientResult::TransientResult(const Netlist& nl, bool fixed_step)
+    : netlist_(&nl), fixed_step_(fixed_step) {}
+
+void TransientResult::append(double t, std::span<const double> x) {
+    time_.push_back(t);
+    rows_.emplace_back(x.begin(), x.end());
+}
+
+double TransientResult::voltage(NodeId node, std::size_t step) const {
+    XYSIG_EXPECTS(step < rows_.size());
+    if (node == kGround)
+        return 0.0;
+    return rows_[step][static_cast<std::size_t>(node) - 1];
+}
+
+std::vector<double> TransientResult::voltage_trace(NodeId node) const {
+    std::vector<double> out(rows_.size());
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+        out[i] = voltage(node, i);
+    return out;
+}
+
+std::vector<double> TransientResult::voltage_trace(const std::string& node) const {
+    return voltage_trace(netlist_->find_node(node));
+}
+
+double TransientResult::unknown(std::size_t index, std::size_t step) const {
+    XYSIG_EXPECTS(step < rows_.size());
+    XYSIG_EXPECTS(index < rows_[step].size());
+    return rows_[step][index];
+}
+
+SampledSignal TransientResult::sampled_voltage(NodeId node, double dt) const {
+    XYSIG_EXPECTS(dt > 0.0);
+    XYSIG_EXPECTS(time_.size() >= 2);
+    const double t0 = time_.front();
+    const double t1 = time_.back();
+    const auto n = static_cast<std::size_t>(std::floor((t1 - t0) / dt));
+    XYSIG_EXPECTS(n >= 2);
+    std::vector<double> samples(n);
+    std::size_t seg = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = t0 + static_cast<double>(i) * dt;
+        while (seg + 2 < time_.size() && time_[seg + 1] <= t)
+            ++seg;
+        const double ta = time_[seg];
+        const double tb = time_[seg + 1];
+        const double va = voltage(node, seg);
+        const double vb = voltage(node, seg + 1);
+        const double frac = (tb > ta) ? (t - ta) / (tb - ta) : 0.0;
+        samples[i] = va + frac * (vb - va);
+    }
+    return SampledSignal(t0, dt, std::move(samples));
+}
+
+SampledSignal TransientResult::sampled_voltage(const std::string& node,
+                                               double dt) const {
+    return sampled_voltage(netlist_->find_node(node), dt);
+}
+
+SampledSignal TransientResult::signal(const std::string& node) const {
+    XYSIG_EXPECTS(fixed_step_);
+    XYSIG_EXPECTS(time_.size() >= 2);
+    const double dt = time_[1] - time_[0];
+    return SampledSignal(time_.front(), dt, voltage_trace(node));
+}
+
+namespace {
+
+/// Snapshot of every device's reactive state.
+std::vector<std::vector<double>> save_all_states(const Netlist& nl) {
+    std::vector<std::vector<double>> states;
+    states.reserve(nl.devices().size());
+    for (const auto& dev : nl.devices())
+        states.push_back(dev->save_state());
+    return states;
+}
+
+void restore_all_states(const Netlist& nl,
+                        const std::vector<std::vector<double>>& states) {
+    const auto devs = nl.devices();
+    XYSIG_ASSERT(states.size() == devs.size());
+    for (std::size_t i = 0; i < devs.size(); ++i)
+        devs[i]->restore_state(states[i]);
+}
+
+/// One converged implicit step from the current device states.
+/// Returns Newton iterations, or -1 when not converged.
+int advance(const Netlist& nl, std::vector<double>& x, std::size_t n,
+            const TransientOptions& opts, double t_new, double dt,
+            Integrator integrator) {
+    return detail::newton_solve(nl, x, n, opts.dc.newton, AnalysisMode::transient,
+                                integrator, t_new, dt, opts.dc.gmin, 1.0);
+}
+
+void accept(const Netlist& nl, std::span<const double> x, double t, double dt,
+            Integrator integrator) {
+    for (const auto& dev : nl.devices())
+        dev->step_accepted(x, t, dt, integrator);
+}
+
+} // namespace
+
+TransientResult run_transient(const Netlist& nl, const TransientOptions& opts) {
+    XYSIG_EXPECTS(opts.t_stop > opts.t_start);
+    XYSIG_EXPECTS(opts.dt > 0.0);
+
+    const OperatingPoint op = dc_operating_point(nl, opts.dc, opts.t_start);
+    const std::size_t n = nl.assign_unknowns();
+    for (const auto& dev : nl.devices())
+        dev->begin_transient(op.unknowns());
+
+    TransientResult result(nl, !opts.adaptive);
+    result.append(opts.t_start, op.unknowns());
+
+    std::vector<double> x(op.unknowns().begin(), op.unknowns().end());
+
+    if (!opts.adaptive) {
+        const auto steps = static_cast<std::size_t>(
+            std::llround((opts.t_stop - opts.t_start) / opts.dt));
+        XYSIG_EXPECTS(steps >= 1);
+        for (std::size_t k = 1; k <= steps; ++k) {
+            const double t_new = opts.t_start + static_cast<double>(k) * opts.dt;
+            // First step with BE to damp the op-point discontinuity, then the
+            // requested integrator.
+            const Integrator integ =
+                (k == 1) ? Integrator::backward_euler : opts.integrator;
+            const int iters = advance(nl, x, n, opts, t_new, opts.dt, integ);
+            if (iters < 0)
+                throw NumericError("run_transient: step did not converge at t = " +
+                                   std::to_string(t_new));
+            result.total_newton_iterations += iters;
+            accept(nl, x, t_new, opts.dt, integ);
+            result.append(t_new, x);
+        }
+        return result;
+    }
+
+    // Adaptive: step doubling. Take one full step and two half steps from the
+    // same state; accept the half-step solution when they agree within tol.
+    double t = opts.t_start;
+    double dt = opts.dt;
+    const double dt_max = (opts.dt_max > 0.0) ? opts.dt_max : 10.0 * opts.dt;
+    bool first = true;
+    const std::size_t n_node_vars = nl.node_count() - 1;
+
+    while (t < opts.t_stop - 1e-15 * opts.t_stop) {
+        dt = std::min(dt, opts.t_stop - t);
+        const Integrator integ = first ? Integrator::backward_euler : opts.integrator;
+
+        const auto states = save_all_states(nl);
+        std::vector<double> x_full = x;
+        const int it_full = advance(nl, x_full, n, opts, t + dt, dt, integ);
+
+        std::vector<double> x_half = x;
+        int it_half = -1;
+        int it_half2 = -1;
+        if (it_full >= 0) {
+            it_half = advance(nl, x_half, n, opts, t + 0.5 * dt, 0.5 * dt, integ);
+            if (it_half >= 0) {
+                accept(nl, x_half, t + 0.5 * dt, 0.5 * dt, integ);
+                it_half2 = advance(nl, x_half, n, opts, t + dt, 0.5 * dt, integ);
+            }
+        }
+
+        double err = 0.0;
+        if (it_full >= 0 && it_half2 >= 0) {
+            for (std::size_t i = 0; i < n_node_vars; ++i)
+                err = std::max(err, std::abs(x_full[i] - x_half[i]));
+        } else {
+            err = std::numeric_limits<double>::infinity();
+        }
+
+        if (err <= opts.lte_tol) {
+            // Keep the more accurate half-step trajectory (device states are
+            // already at t + dt/2; advance them through the second half).
+            accept(nl, x_half, t + dt, 0.5 * dt, integ);
+            x = x_half;
+            t += dt;
+            result.total_newton_iterations +=
+                std::max(it_full, 0) + std::max(it_half, 0) + std::max(it_half2, 0);
+            result.append(t, x);
+            first = false;
+            if (err < 0.25 * opts.lte_tol)
+                dt = std::min(dt * 2.0, dt_max);
+        } else {
+            restore_all_states(nl, states);
+            ++result.rejected_steps;
+            dt *= 0.5;
+            if (dt < opts.dt_min)
+                throw NumericError("run_transient: adaptive step underflow at t = " +
+                                   std::to_string(t));
+        }
+    }
+    return result;
+}
+
+} // namespace xysig::spice

@@ -1,0 +1,69 @@
+#ifndef XYSIG_SPICE_TRANSIENT_H
+#define XYSIG_SPICE_TRANSIENT_H
+
+/// \file transient.h
+/// Time-domain analysis: fixed-step trapezoidal/backward-Euler integration
+/// with an optional step-doubling adaptive mode (Richardson local error
+/// estimate on the node voltages).
+
+#include <vector>
+
+#include "signal/sampled.h"
+#include "spice/dc.h"
+#include "spice/netlist.h"
+#include "spice/types.h"
+
+namespace xysig::spice {
+
+/// Stored trajectory of every unknown at every accepted time point.
+class TransientResult {
+public:
+    TransientResult(const Netlist& nl, bool fixed_step);
+
+    [[nodiscard]] std::span<const double> time() const noexcept { return time_; }
+    [[nodiscard]] std::size_t step_count() const noexcept { return time_.size(); }
+
+    /// Voltage of a node at a stored step index.
+    [[nodiscard]] double voltage(NodeId node, std::size_t step) const;
+
+    /// Full voltage trajectory of one node.
+    [[nodiscard]] std::vector<double> voltage_trace(NodeId node) const;
+    [[nodiscard]] std::vector<double> voltage_trace(const std::string& node) const;
+
+    /// Value of a raw unknown (e.g. a source branch current) at a step.
+    [[nodiscard]] double unknown(std::size_t index, std::size_t step) const;
+
+    /// Uniformly resampled node voltage (linear interpolation); works for
+    /// both fixed and adaptive runs. t range is [t_first, t_last).
+    [[nodiscard]] SampledSignal sampled_voltage(NodeId node, double dt) const;
+    [[nodiscard]] SampledSignal sampled_voltage(const std::string& node,
+                                                double dt) const;
+
+    /// Fixed-step runs only: zero-copy-ish view as a SampledSignal with the
+    /// run's own dt.
+    [[nodiscard]] SampledSignal signal(const std::string& node) const;
+
+    /// Total Newton iterations over the whole run (engine benchmark metric).
+    int total_newton_iterations = 0;
+    /// Steps rejected by the adaptive error control.
+    int rejected_steps = 0;
+
+    /// Called by the engine only.
+    void append(double t, std::span<const double> x);
+
+private:
+    const Netlist* netlist_;
+    bool fixed_step_;
+    std::vector<double> time_;
+    std::vector<std::vector<double>> rows_; // one vector per time point
+};
+
+/// Runs a transient analysis. The initial condition is the DC operating
+/// point with sources evaluated at t_start. Throws NumericError when a step
+/// fails to converge (fixed) or dt_min is reached (adaptive).
+[[nodiscard]] TransientResult run_transient(const Netlist& nl,
+                                            const TransientOptions& opts);
+
+} // namespace xysig::spice
+
+#endif // XYSIG_SPICE_TRANSIENT_H

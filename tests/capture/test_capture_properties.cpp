@@ -1,0 +1,125 @@
+// Property-based tests of the capture unit over random chronograms:
+// reconstruction fidelity, tick accounting, and monotone behaviour in the
+// hardware parameters.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "capture/capture_unit.h"
+#include "common/rng.h"
+#include "core/ndf.h"
+
+namespace xysig::capture {
+namespace {
+
+/// Random 6-bit chronogram over 200 us with dwells >= min_dwell.
+Chronogram random_chronogram(Rng& rng, double min_dwell) {
+    const double period = 200e-6;
+    std::set<double> times;
+    times.insert(0.0);
+    const auto target = static_cast<std::size_t>(rng.uniform_int(2, 14));
+    while (times.size() < target) {
+        const double t = rng.uniform(0.0, period * 0.995);
+        bool ok = true;
+        for (const double u : times)
+            if (std::abs(u - t) < min_dwell)
+                ok = false;
+        if (period - t < min_dwell)
+            ok = false;
+        if (ok)
+            times.insert(t);
+    }
+    std::vector<CodeEvent> events;
+    unsigned prev = 64;
+    for (const double t : times) {
+        unsigned code = static_cast<unsigned>(rng.uniform_int(0, 63));
+        if (code == prev)
+            code = (code + 1) % 64;
+        events.push_back({t, code});
+        prev = code;
+    }
+    return Chronogram(period, 6, std::move(events));
+}
+
+class CaptureProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CaptureProperties, EntriesTileTheWindowExactly) {
+    Rng rng(GetParam());
+    const Chronogram ch = random_chronogram(rng, 2e-6);
+    const CaptureUnit unit({.f_clk = 10e6, .counter_bits = 32});
+    const CaptureResult res = unit.capture(ch);
+    std::uint64_t sum = 0;
+    for (const auto& e : res.signature.entries())
+        sum += e.ticks;
+    EXPECT_EQ(sum, res.signature.total_ticks());
+    EXPECT_EQ(res.overflow_events, 0);
+}
+
+TEST_P(CaptureProperties, ReconstructionNdfBoundedByQuantisation) {
+    // The captured chronogram differs from the ideal only inside +-1 tick
+    // around each of the k transitions: NDF(ideal, captured) is bounded by
+    // k * tick / T * max_dH.
+    Rng rng(GetParam());
+    const Chronogram ch = random_chronogram(rng, 2e-6);
+    const double f_clk = 10e6;
+    const CaptureUnit unit({.f_clk = f_clk, .counter_bits = 32});
+    const Chronogram back = unit.capture(ch).signature.to_chronogram();
+    const double bound = static_cast<double>(ch.zone_visits()) *
+                         (1.0 / f_clk) / ch.period() * 6.0;
+    EXPECT_LE(core::ndf(back, ch), bound + 1e-12);
+}
+
+TEST_P(CaptureProperties, FasterClockNeverCapturesFewerZones) {
+    Rng rng(GetParam());
+    const Chronogram ch = random_chronogram(rng, 2e-6);
+    std::size_t prev_entries = 0;
+    for (const double f : {0.2e6, 1e6, 5e6, 25e6}) {
+        const CaptureUnit unit({.f_clk = f, .counter_bits = 32});
+        const auto res = unit.capture(ch);
+        EXPECT_GE(res.signature.size(), prev_entries) << "f_clk " << f;
+        prev_entries = res.signature.size();
+    }
+}
+
+TEST_P(CaptureProperties, CapturedCodesAreASubsequenceOfIdealVisits) {
+    // Quantisation can drop zone visits but never invent or reorder them.
+    Rng rng(GetParam());
+    const Chronogram ch = random_chronogram(rng, 2e-6);
+    const CaptureUnit unit({.f_clk = 1e6, .counter_bits = 32});
+    const auto res = unit.capture(ch);
+
+    std::size_t ideal_idx = 0;
+    const auto& ideal = ch.events();
+    for (const auto& entry : res.signature.entries()) {
+        while (ideal_idx < ideal.size() && ideal[ideal_idx].code != entry.code)
+            ++ideal_idx;
+        ASSERT_LT(ideal_idx, ideal.size())
+            << "captured code " << entry.code << " not found in order";
+        ++ideal_idx;
+    }
+}
+
+TEST_P(CaptureProperties, NarrowCounterOnlyWrapsNeverDrops) {
+    // With a narrow counter the entry COUNT must equal the wide-counter
+    // capture's; only the stored tick values differ (wrapped).
+    Rng rng(GetParam());
+    const Chronogram ch = random_chronogram(rng, 2e-6);
+    const CaptureUnit wide({.f_clk = 10e6, .counter_bits = 32});
+    const CaptureUnit narrow({.f_clk = 10e6, .counter_bits = 6});
+    const auto rw = wide.capture(ch);
+    const auto rn = narrow.capture(ch);
+    ASSERT_EQ(rw.signature.size(), rn.signature.size());
+    for (std::size_t i = 0; i < rw.signature.size(); ++i) {
+        EXPECT_EQ(rw.signature.entries()[i].code, rn.signature.entries()[i].code);
+        EXPECT_EQ(rn.signature.entries()[i].ticks,
+                  rw.signature.entries()[i].ticks % 64u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, CaptureProperties,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u, 606u,
+                                           707u, 808u));
+
+} // namespace
+} // namespace xysig::capture

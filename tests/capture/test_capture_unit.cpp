@@ -1,0 +1,97 @@
+// Capture unit (Fig. 5) tests: quantisation, missed zones, counter overflow
+// and signature reconstruction.
+
+#include "capture/capture_unit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace xysig::capture {
+namespace {
+
+/// 200 us period, 4 zone visits with dwell 50/100/30/20 us.
+Chronogram reference() {
+    return Chronogram(200e-6, 6,
+                      {{0.0, 4u}, {50e-6, 5u}, {150e-6, 13u}, {180e-6, 12u}});
+}
+
+TEST(CaptureUnit, ExactCaptureAtHighClock) {
+    const CaptureUnit unit({.f_clk = 10e6, .counter_bits = 16});
+    const CaptureResult res = unit.capture(reference());
+    EXPECT_EQ(res.overflow_events, 0);
+    EXPECT_EQ(res.missed_zones, 0);
+    ASSERT_EQ(res.signature.size(), 4u);
+    // 10 MHz -> 0.1 us ticks: dwells 500/1000/300/200 ticks.
+    EXPECT_EQ(res.signature.entries()[0].code, 4u);
+    EXPECT_EQ(res.signature.entries()[0].ticks, 500u);
+    EXPECT_EQ(res.signature.entries()[1].ticks, 1000u);
+    EXPECT_EQ(res.signature.entries()[2].ticks, 300u);
+    EXPECT_EQ(res.signature.entries()[3].ticks, 200u);
+    EXPECT_EQ(res.signature.total_ticks(), 2000u);
+}
+
+TEST(CaptureUnit, SignatureRoundTripsToChronogram) {
+    const CaptureUnit unit({.f_clk = 10e6, .counter_bits = 16});
+    const CaptureResult res = unit.capture(reference());
+    const Chronogram back = res.signature.to_chronogram();
+    EXPECT_NEAR(back.period(), 200e-6, 1e-12);
+    ASSERT_EQ(back.events().size(), 4u);
+    EXPECT_EQ(back.code_at(10e-6), 4u);
+    EXPECT_EQ(back.code_at(100e-6), 5u);
+    EXPECT_EQ(back.code_at(170e-6), 13u);
+    EXPECT_EQ(back.code_at(190e-6), 12u);
+}
+
+TEST(CaptureUnit, SlowClockMissesShortZone) {
+    // The 20 us dwell [180, 200) us falls between the samples of a 50 us
+    // tick clock (20 kHz: samples at 25/75/125/175 us).
+    const CaptureUnit unit({.f_clk = 20e3, .counter_bits = 16});
+    const CaptureResult res = unit.capture(reference());
+    EXPECT_GT(res.missed_zones, 0);
+    EXPECT_LT(res.signature.size(), 4u);
+}
+
+TEST(CaptureUnit, CounterOverflowWrapsAndIsReported) {
+    // 1000-tick dwell with a 8-bit counter wraps (1000 mod 256 = 232).
+    const CaptureUnit unit({.f_clk = 10e6, .counter_bits = 8});
+    const CaptureResult res = unit.capture(reference());
+    EXPECT_GT(res.overflow_events, 0);
+    // Reconstruction must refuse corrupted time registers.
+    EXPECT_THROW((void)res.signature.to_chronogram(), NumericError);
+}
+
+TEST(CaptureUnit, EntriesAlternateCodes) {
+    const CaptureUnit unit({.f_clk = 2e6, .counter_bits = 16});
+    const CaptureResult res = unit.capture(reference());
+    for (std::size_t i = 1; i < res.signature.size(); ++i)
+        EXPECT_NE(res.signature.entries()[i].code,
+                  res.signature.entries()[i - 1].code);
+}
+
+TEST(CaptureUnit, DwellQuantisationErrorBoundedByOneTick) {
+    const double f_clk = 1e6; // 1 us ticks
+    const CaptureUnit unit({.f_clk = f_clk, .counter_bits = 16});
+    const CaptureResult res = unit.capture(reference());
+    const Chronogram ref = reference();
+    ASSERT_EQ(res.signature.size(), ref.events().size());
+    for (std::size_t i = 0; i < res.signature.size(); ++i) {
+        const double captured =
+            static_cast<double>(res.signature.entries()[i].ticks) / f_clk;
+        EXPECT_NEAR(captured, ref.dwell(i), 1.0 / f_clk + 1e-12);
+    }
+}
+
+TEST(CaptureUnit, RejectsInvalidOptions) {
+    EXPECT_THROW(CaptureUnit({.f_clk = 0.0, .counter_bits = 16}), ContractError);
+    EXPECT_THROW(CaptureUnit({.f_clk = 1e6, .counter_bits = 0}), ContractError);
+}
+
+TEST(Signature, ValidatesConstructionParameters) {
+    EXPECT_THROW(Signature(0.0, 16, 6, {}, 100), ContractError);
+    EXPECT_THROW(Signature(1e6, 16, 0, {}, 100), ContractError);
+    EXPECT_THROW(Signature(1e6, 16, 6, {}, 0), ContractError);
+}
+
+} // namespace
+} // namespace xysig::capture

@@ -1,0 +1,90 @@
+// Chronogram (piecewise-constant code function) tests.
+
+#include "capture/chronogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "monitor/table1.h"
+
+namespace xysig::capture {
+namespace {
+
+Chronogram simple() {
+    // codes: 0 on [0,1), 3 on [1,2.5), 1 on [2.5,4); period 4.
+    return Chronogram(4.0, 2, {{0.0, 0u}, {1.0, 3u}, {2.5, 1u}});
+}
+
+TEST(Chronogram, CodeAtLooksUpSegments) {
+    const Chronogram ch = simple();
+    EXPECT_EQ(ch.code_at(0.0), 0u);
+    EXPECT_EQ(ch.code_at(0.99), 0u);
+    EXPECT_EQ(ch.code_at(1.0), 3u);
+    EXPECT_EQ(ch.code_at(2.49), 3u);
+    EXPECT_EQ(ch.code_at(2.5), 1u);
+    EXPECT_EQ(ch.code_at(3.999), 1u);
+}
+
+TEST(Chronogram, CodeAtWrapsPeriodically) {
+    const Chronogram ch = simple();
+    EXPECT_EQ(ch.code_at(4.0), 0u);
+    EXPECT_EQ(ch.code_at(5.5), 3u);
+    EXPECT_EQ(ch.code_at(-1.0), 1u); // t = 3 after folding
+}
+
+TEST(Chronogram, DwellTimesTileThePeriod) {
+    const Chronogram ch = simple();
+    EXPECT_DOUBLE_EQ(ch.dwell(0), 1.0);
+    EXPECT_DOUBLE_EQ(ch.dwell(1), 1.5);
+    EXPECT_DOUBLE_EQ(ch.dwell(2), 1.5);
+    double total = 0.0;
+    for (std::size_t i = 0; i < ch.events().size(); ++i)
+        total += ch.dwell(i);
+    EXPECT_DOUBLE_EQ(total, ch.period());
+}
+
+TEST(Chronogram, ValidationRejectsBadEventStreams) {
+    // Not starting at 0.
+    EXPECT_THROW(Chronogram(1.0, 2, {{0.5, 0u}}), ContractError);
+    // Non-increasing times.
+    EXPECT_THROW(Chronogram(1.0, 2, {{0.0, 0u}, {0.5, 1u}, {0.5, 2u}}),
+                 ContractError);
+    // Repeated code in consecutive events.
+    EXPECT_THROW(Chronogram(1.0, 2, {{0.0, 1u}, {0.5, 1u}}), ContractError);
+    // Event at/after period end.
+    EXPECT_THROW(Chronogram(1.0, 2, {{0.0, 0u}, {1.0, 1u}}), ContractError);
+    // Empty.
+    EXPECT_THROW(Chronogram(1.0, 2, {}), ContractError);
+}
+
+TEST(Chronogram, FromTraceRunLengthEncodes) {
+    // A trace crossing the diagonal monitor (Table I curve 6) twice.
+    monitor::MonitorBank bank;
+    bank.add(std::make_unique<monitor::MosCurrentBoundary>(
+        monitor::table1_config(6)));
+    // x ramps 0.2->0.8, y fixed 0.5: starts above diagonal (code 1), ends
+    // below (code 0).
+    const std::size_t n = 100;
+    std::vector<double> xs(n), ys(n, 0.5);
+    for (std::size_t i = 0; i < n; ++i)
+        xs[i] = 0.2 + 0.6 * static_cast<double>(i) / n;
+    const XyTrace tr(SampledSignal(0.0, 1e-6, std::move(xs)),
+                     SampledSignal(0.0, 1e-6, std::move(ys)));
+    const Chronogram ch = Chronogram::from_trace(tr, bank);
+    ASSERT_EQ(ch.events().size(), 2u);
+    EXPECT_EQ(ch.events()[0].code, 1u);
+    EXPECT_EQ(ch.events()[1].code, 0u);
+    // Crossing at x = 0.5: t = (0.5-0.2)/0.6 * 100us = 50us.
+    EXPECT_NEAR(ch.events()[1].t, 50e-6, 2e-6);
+}
+
+TEST(Chronogram, FromTraceRequiresZeroStart) {
+    monitor::MonitorBank bank;
+    bank.add(std::make_unique<monitor::LinearBoundary>(1.0, 1.0, -1.0));
+    const XyTrace tr(SampledSignal(1.0, 1e-6, {0.1, 0.2, 0.3}),
+                     SampledSignal(1.0, 1e-6, {0.1, 0.2, 0.3}));
+    EXPECT_THROW((void)Chronogram::from_trace(tr, bank), ContractError);
+}
+
+} // namespace
+} // namespace xysig::capture

@@ -1,0 +1,102 @@
+// Tester-hardware fault injection tests (extension): stuck and swapped
+// monitor lines, and their effect on the NDF verdict.
+
+#include "capture/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ndf.h"
+#include "core/paper_setup.h"
+#include "core/pipeline.h"
+#include "monitor/table1.h"
+
+namespace xysig::capture {
+namespace {
+
+Chronogram sample() {
+    // 6-bit codes over 1 s.
+    return Chronogram(1.0, 6, {{0.0, 0b000100u}, {0.3, 0b000101u}, {0.7, 0b011101u}});
+}
+
+TEST(StuckBit, ForcesLineLow) {
+    const Chronogram faulty = apply_stuck_bit(sample(), {.bit_index = 0,
+                                                         .stuck_value = false});
+    EXPECT_EQ(faulty.code_at(0.1), 0b000100u);
+    EXPECT_EQ(faulty.code_at(0.5), 0b000100u); // bit 0 cleared
+    EXPECT_EQ(faulty.code_at(0.8), 0b011100u);
+}
+
+TEST(StuckBit, ForcesLineHigh) {
+    const Chronogram faulty = apply_stuck_bit(sample(), {.bit_index = 0,
+                                                         .stuck_value = true});
+    EXPECT_EQ(faulty.code_at(0.1), 0b000101u);
+    EXPECT_EQ(faulty.code_at(0.5), 0b000101u);
+}
+
+TEST(StuckBit, MergesVanishedTransitions) {
+    // Codes 4 and 5 differ only in bit 0: stuck-low merges them.
+    const Chronogram faulty = apply_stuck_bit(sample(), {.bit_index = 0,
+                                                         .stuck_value = false});
+    EXPECT_EQ(faulty.events().size(), 2u);
+}
+
+TEST(StuckBit, OutOfRangeBitRejected) {
+    EXPECT_THROW((void)apply_stuck_bit(sample(), {.bit_index = 6,
+                                                  .stuck_value = false}),
+                 ContractError);
+}
+
+TEST(SwappedBits, ExchangesLines) {
+    const Chronogram faulty = apply_swapped_bits(sample(), 0, 2);
+    // 000101 -> swap bits 0 and 2 -> 000101 unchanged? bit0=1, bit2=1: yes.
+    EXPECT_EQ(faulty.code_at(0.5), 0b000101u);
+    // 011101: bit0=1, bit2=1 -> unchanged too; use a code where they differ.
+    const Chronogram ch(1.0, 6, {{0.0, 0b000001u}});
+    EXPECT_EQ(apply_swapped_bits(ch, 0, 2).code_at(0.0), 0b000100u);
+}
+
+TEST(SwappedBits, SelfSwapRejected) {
+    EXPECT_THROW((void)apply_swapped_bits(sample(), 1, 1), ContractError);
+}
+
+TEST(FaultInjection, StuckMonitorInflatesGoldenNdf) {
+    // A tester with a stuck monitor line reports a large NDF even for a
+    // perfect CUT -- the fault is detectable from the golden self-test.
+    core::PipelineOptions opts;
+    opts.samples_per_period = 2048;
+    core::SignaturePipeline pipe(monitor::build_table1_bank(),
+                                 core::paper_stimulus(), opts);
+    const filter::BehaviouralCut golden(core::paper_biquad());
+    const Chronogram healthy = pipe.chronogram(golden);
+
+    for (unsigned bit = 0; bit < 6; ++bit) {
+        const Chronogram faulty =
+            apply_stuck_bit(healthy, {.bit_index = bit, .stuck_value = true});
+        const double self_ndf = core::ndf(faulty, healthy);
+        // The line is active somewhere in the period, so sticking it high
+        // must show up (except if it was already 1 all period -- none is).
+        EXPECT_GT(self_ndf, 0.0) << "bit " << bit;
+    }
+}
+
+TEST(FaultInjection, SwappedLinesStillDetectDefects) {
+    // A bus swap garbles codes but preserves information: the NDF between a
+    // swapped-defective and swapped-golden chronogram equals the healthy
+    // NDF (Hamming distance is permutation-invariant).
+    core::PipelineOptions opts;
+    opts.samples_per_period = 2048;
+    core::SignaturePipeline pipe(monitor::build_table1_bank(),
+                                 core::paper_stimulus(), opts);
+    const filter::BehaviouralCut golden(core::paper_biquad());
+    const filter::BehaviouralCut defective(
+        core::paper_biquad().with_f0_shift(0.10));
+    const Chronogram g = pipe.chronogram(golden);
+    const Chronogram d = pipe.chronogram(defective);
+    const double healthy_ndf = core::ndf(d, g);
+    const double swapped_ndf =
+        core::ndf(apply_swapped_bits(d, 1, 4), apply_swapped_bits(g, 1, 4));
+    EXPECT_NEAR(swapped_ndf, healthy_ndf, 1e-12);
+}
+
+} // namespace
+} // namespace xysig::capture

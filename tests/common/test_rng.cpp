@@ -1,0 +1,94 @@
+// Unit tests for deterministic RNG streams.
+
+#include "common/rng.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/statistics.h"
+
+namespace xysig {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16 && !any_diff; ++i)
+        any_diff = a.uniform() != b.uniform();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRespectsRange) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+    Rng rng(99);
+    std::vector<double> xs;
+    xs.reserve(20000);
+    for (int i = 0; i < 20000; ++i)
+        xs.push_back(rng.normal(1.5, 2.0));
+    EXPECT_NEAR(mean(xs), 1.5, 0.05);
+    EXPECT_NEAR(stddev(xs), 2.0, 0.05);
+}
+
+TEST(Rng, NormalZeroSigmaIsDeterministic) {
+    Rng rng(5);
+    EXPECT_DOUBLE_EQ(rng.normal(3.0, 0.0), 3.0);
+}
+
+TEST(Rng, NegativeSigmaIsContractViolation) {
+    Rng rng(5);
+    EXPECT_THROW((void)rng.normal(0.0, -1.0), ContractError);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == 0);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+    Rng a(42);
+    Rng b(42);
+    Rng fa = a.fork();
+    Rng fb = b.fork();
+    // Deterministic: forks of identical parents are identical.
+    for (int i = 0; i < 20; ++i)
+        EXPECT_DOUBLE_EQ(fa.uniform(), fb.uniform());
+    // Parent stream continues independently of how much the fork consumed.
+    Rng c(42);
+    (void)c.fork();
+    EXPECT_DOUBLE_EQ(a.uniform(), c.uniform());
+}
+
+TEST(Rng, SeedIsReported) {
+    Rng rng(31337);
+    EXPECT_EQ(rng.seed(), 31337u);
+}
+
+} // namespace
+} // namespace xysig

@@ -1,0 +1,96 @@
+// Unit tests for text helpers, including the SPICE engineering-notation
+// number parser and the Fig. 6 binary code formatter.
+
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace xysig {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+    EXPECT_EQ(trim("  abc \t\n"), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Split, DropsEmptyTokens) {
+    const auto toks = split("  a \t b   c ");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[0], "a");
+    EXPECT_EQ(toks[1], "b");
+    EXPECT_EQ(toks[2], "c");
+}
+
+TEST(Split, CustomDelimiters) {
+    const auto toks = split("a=b,c", "=,");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[2], "c");
+}
+
+TEST(ToLowerIequals, AsciiBehaviour) {
+    EXPECT_EQ(to_lower("MixedCASE"), "mixedcase");
+    EXPECT_TRUE(iequals("VDD", "vdd"));
+    EXPECT_FALSE(iequals("VDD", "vd"));
+}
+
+TEST(StartsWith, PrefixLogic) {
+    EXPECT_TRUE(starts_with("biquad", "bi"));
+    EXPECT_FALSE(starts_with("bi", "biquad"));
+}
+
+TEST(ParseSpiceNumber, PlainNumbers) {
+    EXPECT_DOUBLE_EQ(parse_spice_number("42"), 42.0);
+    EXPECT_DOUBLE_EQ(parse_spice_number("-3.5"), -3.5);
+    EXPECT_DOUBLE_EQ(parse_spice_number("1e-9"), 1e-9);
+}
+
+TEST(ParseSpiceNumber, EngineeringSuffixes) {
+    EXPECT_DOUBLE_EQ(parse_spice_number("4.7k"), 4700.0);
+    EXPECT_DOUBLE_EQ(parse_spice_number("180n"), 180e-9);
+    EXPECT_DOUBLE_EQ(parse_spice_number("2meg"), 2e6);
+    EXPECT_DOUBLE_EQ(parse_spice_number("1m"), 1e-3);
+    EXPECT_DOUBLE_EQ(parse_spice_number("3p"), 3e-12);
+    EXPECT_DOUBLE_EQ(parse_spice_number("5u"), 5e-6);
+    EXPECT_DOUBLE_EQ(parse_spice_number("1f"), 1e-15);
+    EXPECT_DOUBLE_EQ(parse_spice_number("2g"), 2e9);
+    EXPECT_DOUBLE_EQ(parse_spice_number("1t"), 1e12);
+}
+
+TEST(ParseSpiceNumber, UnitAnnotationsIgnored) {
+    EXPECT_DOUBLE_EQ(parse_spice_number("4.7kohm"), 4700.0);
+    EXPECT_DOUBLE_EQ(parse_spice_number("1.2v"), 1.2);
+    EXPECT_DOUBLE_EQ(parse_spice_number("10khz"), 10e3);
+}
+
+TEST(ParseSpiceNumber, MalformedThrows) {
+    EXPECT_THROW((void)parse_spice_number(""), InvalidInput);
+    EXPECT_THROW((void)parse_spice_number("abc"), InvalidInput);
+    EXPECT_THROW((void)parse_spice_number("1.2.3!"), InvalidInput);
+}
+
+TEST(FormatDouble, SignificantDigits) {
+    EXPECT_EQ(format_double(3.14159265, 3), "3.14");
+    EXPECT_EQ(format_double(0.000123456, 3), "0.000123");
+}
+
+TEST(FormatCodeBinary, MatchesPaperNotation) {
+    // Fig. 6 lists e.g. 011110 (30) and 111100 (60) with MSB = monitor 1.
+    EXPECT_EQ(format_code_binary(30, 6), "011110");
+    EXPECT_EQ(format_code_binary(60, 6), "111100");
+    EXPECT_EQ(format_code_binary(0, 6), "000000");
+    EXPECT_EQ(format_code_binary(63, 6), "111111");
+    EXPECT_EQ(format_code_binary(4, 6), "000100");
+}
+
+TEST(FormatCodeBinary, WidthBounds) {
+    EXPECT_EQ(format_code_binary(1, 1), "1");
+    EXPECT_THROW((void)format_code_binary(0, 0), ContractError);
+    EXPECT_THROW((void)format_code_binary(0, 33), ContractError);
+}
+
+} // namespace
+} // namespace xysig

@@ -1,0 +1,124 @@
+// Noise detectability study (paper Section IV-C) and the regression
+// estimator extension.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/detectability.h"
+#include "core/estimator.h"
+#include "core/paper_setup.h"
+#include "core/sweep.h"
+#include "monitor/table1.h"
+
+namespace xysig::core {
+namespace {
+
+SignaturePipeline make_pipeline() {
+    PipelineOptions opts;
+    opts.samples_per_period = 4096; // noise MC is expensive; keep tests quick
+    return SignaturePipeline(monitor::build_table1_bank(), paper_stimulus(), opts);
+}
+
+TEST(Detectability, OnePercentDetectedUnderPaperNoise) {
+    // The paper's claim: 3*sigma = 15 mV white noise, 1% f0 deviation still
+    // detected.
+    SignaturePipeline pipe = make_pipeline();
+    DetectabilityOptions opts;
+    opts.trials = 15;
+    opts.noise_sigma = 0.005;
+    opts.periods_averaged = 16;
+    const std::vector<double> devs = {1.0};
+    const auto study = noise_detectability(pipe, paper_biquad(), devs, opts, 2024);
+    ASSERT_EQ(study.points.size(), 1u);
+    EXPECT_TRUE(study.points[0].detected)
+        << "rate=" << study.points[0].detection_rate;
+}
+
+TEST(Detectability, LargerDeviationsSeparateFurther) {
+    SignaturePipeline pipe = make_pipeline();
+    DetectabilityOptions opts;
+    opts.trials = 8;
+    opts.noise_sigma = 0.005;
+    opts.periods_averaged = 4;
+    const std::vector<double> devs = {1.0, 5.0};
+    const auto study = noise_detectability(pipe, paper_biquad(), devs, opts, 7);
+    EXPECT_GT(study.points[1].ndf_mean, study.points[0].ndf_mean);
+    EXPECT_GT(study.points[1].ndf_min, study.threshold);
+}
+
+TEST(Detectability, NoiseFloorIsSmallAndPositive) {
+    SignaturePipeline pipe = make_pipeline();
+    DetectabilityOptions opts;
+    opts.trials = 8;
+    opts.noise_sigma = 0.005;
+    opts.periods_averaged = 2;
+    const std::vector<double> devs = {2.0};
+    const auto study = noise_detectability(pipe, paper_biquad(), devs, opts, 99);
+    EXPECT_GT(study.noise_floor_mean, 0.0);
+    EXPECT_LT(study.noise_floor_mean, 0.04);
+    EXPECT_GE(study.threshold, study.noise_floor_mean);
+}
+
+TEST(Detectability, MinimumDetectableReported) {
+    DetectabilityStudy study;
+    study.points = {{0.5, 0, 0, 0, 0.5, false},
+                    {1.0, 0, 0, 0, 1.0, true},
+                    {-2.0, 0, 0, 0, 1.0, true}};
+    EXPECT_DOUBLE_EQ(study.minimum_detectable(), 1.0);
+}
+
+TEST(Detectability, DeterministicInSeed) {
+    SignaturePipeline pipe = make_pipeline();
+    DetectabilityOptions opts;
+    opts.trials = 5;
+    opts.periods_averaged = 2;
+    const std::vector<double> devs = {1.0};
+    const auto a = noise_detectability(pipe, paper_biquad(), devs, opts, 31);
+    const auto b = noise_detectability(pipe, paper_biquad(), devs, opts, 31);
+    EXPECT_DOUBLE_EQ(a.threshold, b.threshold);
+    EXPECT_DOUBLE_EQ(a.points[0].ndf_mean, b.points[0].ndf_mean);
+}
+
+TEST(Estimator, RecoversDeviationFromSignature) {
+    // Train on a coarse sweep, predict held-out intermediate deviations.
+    SignaturePipeline pipe = make_pipeline();
+    pipe.set_golden(filter::BehaviouralCut(paper_biquad()));
+
+    std::vector<capture::Chronogram> train;
+    std::vector<double> targets;
+    for (double dev = -20.0; dev <= 20.0; dev += 2.0) {
+        const filter::BehaviouralCut cut(paper_biquad().with_f0_shift(dev / 100.0));
+        train.push_back(pipe.chronogram(cut));
+        targets.push_back(dev);
+    }
+    SignatureRegressor reg(6);
+    reg.fit(train, targets, 1e-4);
+
+    for (double dev : {-13.0, -5.0, 3.0, 11.0}) {
+        const filter::BehaviouralCut cut(paper_biquad().with_f0_shift(dev / 100.0));
+        const double predicted = reg.predict(pipe.chronogram(cut));
+        EXPECT_NEAR(predicted, dev, 2.5) << "dev=" << dev;
+    }
+}
+
+TEST(Estimator, FeaturesAreDwellFractions) {
+    const capture::Chronogram ch(1.0, 2, {{0.0, 0u}, {0.25, 1u}, {0.75, 3u}});
+    const SignatureRegressor reg(2);
+    const auto f = reg.features(ch);
+    ASSERT_EQ(f.size(), 5u); // 4 codes + bias
+    EXPECT_DOUBLE_EQ(f[0], 0.25);
+    EXPECT_DOUBLE_EQ(f[1], 0.5);
+    EXPECT_DOUBLE_EQ(f[2], 0.0);
+    EXPECT_DOUBLE_EQ(f[3], 0.25);
+    EXPECT_DOUBLE_EQ(f[4], 1.0);
+}
+
+TEST(Estimator, PredictBeforeFitRejected) {
+    const SignatureRegressor reg(2);
+    const capture::Chronogram ch(1.0, 2, {{0.0, 0u}});
+    EXPECT_THROW((void)reg.predict(ch), ContractError);
+}
+
+} // namespace
+} // namespace xysig::core

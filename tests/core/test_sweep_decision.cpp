@@ -1,0 +1,105 @@
+// Sweep (Fig. 8) and PASS/FAIL decision tests.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/decision.h"
+#include "core/paper_setup.h"
+#include "core/sweep.h"
+#include "monitor/table1.h"
+
+namespace xysig::core {
+namespace {
+
+SignaturePipeline make_pipeline() {
+    PipelineOptions opts;
+    opts.samples_per_period = 4096;
+    return SignaturePipeline(monitor::build_table1_bank(), paper_stimulus(), opts);
+}
+
+std::vector<double> symmetric_grid() {
+    std::vector<double> devs;
+    for (int d = -20; d <= 20; d += 4)
+        devs.push_back(d);
+    return devs;
+}
+
+TEST(DeviationSweep, ZeroDeviationGivesZeroNdf) {
+    SignaturePipeline pipe = make_pipeline();
+    const auto sweep =
+        deviation_sweep(pipe, paper_biquad(), std::vector<double>{0.0});
+    ASSERT_EQ(sweep.size(), 1u);
+    EXPECT_DOUBLE_EQ(sweep[0].ndf_value, 0.0);
+}
+
+TEST(DeviationSweep, NdfIncreasesWithDeviationMagnitude) {
+    SignaturePipeline pipe = make_pipeline();
+    const std::vector<double> devs = {1.0, 2.0, 5.0, 10.0, 15.0, 20.0};
+    const auto sweep = deviation_sweep(pipe, paper_biquad(), devs);
+    for (std::size_t i = 1; i < sweep.size(); ++i)
+        EXPECT_GT(sweep[i].ndf_value, sweep[i - 1].ndf_value)
+            << "at " << sweep[i].deviation_percent << "%";
+}
+
+TEST(DeviationSweep, Fig8ShapeAlmostLinearAndSymmetric) {
+    SignaturePipeline pipe = make_pipeline();
+    const auto sweep = deviation_sweep(pipe, paper_biquad(), symmetric_grid());
+    const SweepShape shape = analyse_sweep(sweep);
+    // Paper: "increases almost linearly ... quite symmetrically".
+    EXPECT_GT(shape.r_squared, 0.95);
+    EXPECT_LT(shape.asymmetry, 0.15);
+    // Fig. 8 magnitude: ~0.01 NDF per % deviation.
+    EXPECT_GT(shape.slope_per_percent, 0.005);
+    EXPECT_LT(shape.slope_per_percent, 0.02);
+}
+
+TEST(DeviationSweep, QParameterAlsoDetectable) {
+    SignaturePipeline pipe = make_pipeline();
+    const std::vector<double> devs = {-20.0, 20.0};
+    const auto sweep =
+        deviation_sweep(pipe, paper_biquad(), devs, SweptParameter::q);
+    for (const auto& p : sweep)
+        EXPECT_GT(p.ndf_value, 0.01);
+}
+
+TEST(AnalyseSweep, RequiresEnoughPoints) {
+    const std::vector<SweepPoint> two = {{0.0, 0.0}, {1.0, 0.01}};
+    EXPECT_THROW((void)analyse_sweep(two), ContractError);
+}
+
+TEST(NdfThreshold, FromSweepInterpolates) {
+    const std::vector<SweepPoint> sweep = {
+        {-10.0, 0.10}, {-5.0, 0.05}, {0.0, 0.0}, {5.0, 0.06}, {10.0, 0.12}};
+    const NdfThreshold thr = NdfThreshold::from_sweep(sweep, 7.5);
+    // +7.5% interpolates to 0.09, -7.5% to 0.075 -> conservative min.
+    EXPECT_NEAR(thr.threshold(), 0.075, 1e-12);
+}
+
+TEST(NdfThreshold, ClassifiesPassFail) {
+    const NdfThreshold thr(0.05);
+    EXPECT_EQ(thr.classify(0.01), TestOutcome::pass);
+    EXPECT_EQ(thr.classify(0.05), TestOutcome::pass); // inclusive
+    EXPECT_EQ(thr.classify(0.051), TestOutcome::fail);
+}
+
+TEST(NdfThreshold, ToleranceOutsideSweepRejected) {
+    const std::vector<SweepPoint> sweep = {{-5.0, 0.05}, {0.0, 0.0}, {5.0, 0.06}};
+    EXPECT_THROW((void)NdfThreshold::from_sweep(sweep, 10.0), InvalidInput);
+}
+
+TEST(Decision, EndToEndPassFailBands) {
+    // Calibrate a +/-5% tolerance band on the Fig. 8 sweep, then check that
+    // an in-band circuit passes and an out-of-band circuit fails.
+    SignaturePipeline pipe = make_pipeline();
+    const auto sweep = deviation_sweep(pipe, paper_biquad(), symmetric_grid());
+    const NdfThreshold thr = NdfThreshold::from_sweep(sweep, 5.0);
+
+    const filter::BehaviouralCut in_band(paper_biquad().with_f0_shift(0.02));
+    const filter::BehaviouralCut out_band(paper_biquad().with_f0_shift(0.12));
+    EXPECT_EQ(thr.classify(pipe.ndf_of(in_band)), TestOutcome::pass);
+    EXPECT_EQ(thr.classify(pipe.ndf_of(out_band)), TestOutcome::fail);
+}
+
+} // namespace
+} // namespace xysig::core

@@ -1,0 +1,109 @@
+// Biquad behavioural model tests against closed-form second-order theory.
+
+#include "filter/biquad.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace xysig::filter {
+namespace {
+
+Biquad lp(double f0 = 10e3, double q = 1.0, double gain = 1.0) {
+    return Biquad({.f0 = f0, .q = q, .gain = gain, .kind = BiquadKind::low_pass});
+}
+
+TEST(Biquad, LowPassDcGainAndRolloff) {
+    const Biquad b = lp(10e3, 1.0, 2.0);
+    EXPECT_NEAR(b.magnitude(1.0), 2.0, 1e-6);
+    // Two decades above f0: -80 dB/2dec from the 2nd-order rolloff.
+    EXPECT_NEAR(b.magnitude(1e6), 2.0 * 1e-4, 2e-5);
+}
+
+TEST(Biquad, MagnitudeAtF0IsQTimesGain) {
+    for (double q : {0.5, 0.707, 1.0, 2.0, 5.0}) {
+        const Biquad b = lp(10e3, q, 1.0);
+        EXPECT_NEAR(b.magnitude(10e3), q, 1e-9) << "Q=" << q;
+        EXPECT_NEAR(b.phase(10e3), -kPi / 2.0, 1e-9) << "Q=" << q;
+    }
+}
+
+TEST(Biquad, BandPassPeaksAtF0) {
+    const Biquad b({.f0 = 10e3, .q = 2.0, .gain = 1.0, .kind = BiquadKind::band_pass});
+    EXPECT_NEAR(b.magnitude(10e3), 1.0, 1e-9); // unity at centre
+    EXPECT_LT(b.magnitude(5e3), 0.8);
+    EXPECT_LT(b.magnitude(20e3), 0.8);
+    EXPECT_NEAR(b.phase(10e3), 0.0, 1e-9);
+}
+
+TEST(Biquad, HighPassBlocksDcPassesHighF) {
+    const Biquad b({.f0 = 10e3, .q = 1.0, .gain = 1.0, .kind = BiquadKind::high_pass});
+    EXPECT_NEAR(b.magnitude(1.0), 0.0, 1e-7);
+    EXPECT_NEAR(b.magnitude(1e6), 1.0, 1e-3);
+}
+
+TEST(Biquad, F0ShiftScalesNaturalFrequency) {
+    const Biquad b = lp(10e3);
+    const Biquad shifted = b.with_f0_shift(0.10);
+    EXPECT_NEAR(shifted.design().f0, 11e3, 1e-9);
+    // Q and gain untouched.
+    EXPECT_DOUBLE_EQ(shifted.design().q, b.design().q);
+    EXPECT_DOUBLE_EQ(shifted.design().gain, b.design().gain);
+    EXPECT_THROW((void)b.with_f0_shift(-1.5), ContractError);
+}
+
+TEST(Biquad, QShiftScalesQuality) {
+    const Biquad b = lp(10e3, 2.0);
+    EXPECT_NEAR(b.with_q_shift(-0.25).design().q, 1.5, 1e-12);
+}
+
+TEST(Biquad, SteadyStateOutputTonewiseExact) {
+    const Biquad b = lp(14e3, 1.0);
+    const MultitoneWaveform in(0.5, {{0.3, 5e3, 0.0}, {0.15, 15e3, kPi}});
+    const MultitoneWaveform out = b.steady_state_output(in);
+    ASSERT_EQ(out.tones().size(), 2u);
+    EXPECT_NEAR(out.offset(), 0.5, 1e-12); // H(0) = 1
+    EXPECT_NEAR(out.tones()[0].amplitude, 0.3 * b.magnitude(5e3), 1e-12);
+    EXPECT_NEAR(out.tones()[1].amplitude, 0.15 * b.magnitude(15e3), 1e-12);
+    EXPECT_NEAR(out.tones()[0].phase_rad, b.phase(5e3), 1e-12);
+    EXPECT_NEAR(out.tones()[1].phase_rad, kPi + b.phase(15e3), 1e-12);
+}
+
+TEST(Biquad, SimulateConvergesToSteadyState) {
+    const Biquad b = lp(14e3, 1.0);
+    const MultitoneWaveform in(0.5, {{0.3, 5e3, 0.0}, {0.15, 15e3, kPi}});
+    const MultitoneWaveform expected = b.steady_state_output(in);
+    const double T = in.period();
+    // Simulate 10 periods; compare the last one against the exact output.
+    const std::size_t n_per = 2048;
+    const auto sim = b.simulate(in, 0.0, 10.0 * T, 10 * n_per);
+    double max_err = 0.0;
+    for (std::size_t i = 9 * n_per; i < 10 * n_per; ++i) {
+        const double t = sim.time_at(i);
+        max_err = std::max(max_err, std::abs(sim[i] - expected.value(t)));
+    }
+    EXPECT_LT(max_err, 2e-4);
+}
+
+TEST(Biquad, SimulateStepResponseSecondOrder) {
+    // Critically-ish damped LP step response must settle to gain without
+    // excessive overshoot for Q = 0.5 (two real poles).
+    const Biquad b = lp(1e3, 0.5, 1.0);
+    const DcWaveform step(1.0);
+    const auto sim = b.simulate(step, 0.0, 10e-3, 10000);
+    EXPECT_NEAR(sim[sim.size() - 1], 1.0, 1e-3);
+    EXPECT_LT(sim.max(), 1.001); // no overshoot for Q <= 0.5
+}
+
+TEST(Biquad, RejectsInvalidDesign) {
+    EXPECT_THROW(Biquad({.f0 = 0.0, .q = 1.0, .gain = 1.0, .kind = BiquadKind::low_pass}),
+                 ContractError);
+    EXPECT_THROW(Biquad({.f0 = 1e3, .q = 0.0, .gain = 1.0, .kind = BiquadKind::low_pass}),
+                 ContractError);
+}
+
+} // namespace
+} // namespace xysig::filter

@@ -1,0 +1,80 @@
+// CUT abstraction tests: behavioural fast path vs transistor... vs netlist
+// transient path must agree on the observed Lissajous period.
+
+#include "filter/cut.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/paper_setup.h"
+#include "filter/tow_thomas.h"
+
+namespace xysig::filter {
+namespace {
+
+TEST(BehaviouralCut, XChannelIsTheStimulus) {
+    const BehaviouralCut cut(core::paper_biquad());
+    const MultitoneWaveform stim = core::paper_stimulus();
+    const XyTrace tr = cut.respond(stim, 512);
+    ASSERT_EQ(tr.size(), 512u);
+    EXPECT_DOUBLE_EQ(tr.start_time(), 0.0);
+    for (std::size_t i = 0; i < tr.size(); i += 37)
+        EXPECT_NEAR(tr.x()[i], stim.value(tr.time_at(i)), 1e-12);
+}
+
+TEST(BehaviouralCut, TraceSpansOneExactPeriod) {
+    const BehaviouralCut cut(core::paper_biquad());
+    const MultitoneWaveform stim = core::paper_stimulus();
+    const XyTrace tr = cut.respond(stim, 1000);
+    EXPECT_NEAR(tr.dt() * static_cast<double>(tr.size()), stim.period(), 1e-15);
+    // Periodicity: value just past the window equals the first sample.
+    EXPECT_NEAR(tr.x()[0], stim.value(stim.period()), 1e-9);
+}
+
+TEST(BehaviouralCut, OutputIsFilteredStimulus) {
+    const Biquad bq = core::paper_biquad();
+    const BehaviouralCut cut(bq);
+    const MultitoneWaveform stim = core::paper_stimulus();
+    const MultitoneWaveform expected = bq.steady_state_output(stim);
+    const XyTrace tr = cut.respond(stim, 256);
+    for (std::size_t i = 0; i < tr.size(); i += 17)
+        EXPECT_NEAR(tr.y()[i], expected.value(tr.time_at(i)), 1e-12);
+}
+
+TEST(BehaviouralCut, DescriptionMentionsParameters) {
+    const BehaviouralCut cut(core::paper_biquad());
+    EXPECT_NE(cut.description().find("14000"), std::string::npos);
+}
+
+TEST(SpiceCut, TowThomasMatchesBehaviouralBiquad) {
+    // The central cross-validation: the netlist CUT simulated by our SPICE
+    // engine must produce the same Lissajous as the exact behavioural path.
+    const Biquad bq = core::paper_biquad();
+    TowThomasCircuit ckt =
+        build_tow_thomas(TowThomasDesign::from_biquad(bq.design(), 10e3));
+    SpiceCut spice_cut(ckt.netlist, ckt.input_source, ckt.input_node, ckt.lp_node,
+                       /*settle_periods=*/10);
+    const BehaviouralCut fast_cut(bq);
+
+    const MultitoneWaveform stim = core::paper_stimulus();
+    const std::size_t n = 512;
+    const XyTrace slow = spice_cut.respond(stim, n);
+    const XyTrace fast = fast_cut.respond(stim, n);
+
+    double max_err_x = 0.0, max_err_y = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        max_err_x = std::max(max_err_x, std::abs(slow.x()[i] - fast.x()[i]));
+        max_err_y = std::max(max_err_y, std::abs(slow.y()[i] - fast.y()[i]));
+    }
+    EXPECT_LT(max_err_x, 1e-6);  // x is the source itself
+    EXPECT_LT(max_err_y, 5e-3);  // y: integration + residual settling error
+}
+
+TEST(SpiceCut, RejectsTooFewSettlePeriods) {
+    TowThomasCircuit ckt = build_tow_thomas(TowThomasDesign{});
+    EXPECT_THROW(SpiceCut(ckt.netlist, "Vin", "in", "lp", 0), ContractError);
+}
+
+} // namespace
+} // namespace xysig::filter

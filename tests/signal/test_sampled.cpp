@@ -1,0 +1,116 @@
+// Unit tests for sampled signals and X-Y traces.
+
+#include "signal/sampled.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+
+namespace xysig {
+namespace {
+
+TEST(SampledSignal, FromWaveformSamplesCorrectTimes) {
+    const SineWaveform w(0.0, 1.0, 1.0);
+    const auto s = SampledSignal::from_waveform(w, 0.0, 1.0, 100);
+    EXPECT_EQ(s.size(), 100u);
+    EXPECT_DOUBLE_EQ(s.dt(), 0.01);
+    EXPECT_NEAR(s[25], 1.0, 1e-12); // quarter period
+    EXPECT_NEAR(s.time_at(50), 0.5, 1e-12);
+}
+
+TEST(SampledSignal, EndpointExcludedSoPeriodsConcatenate) {
+    const SineWaveform w(0.0, 1.0, 1.0);
+    const auto s = SampledSignal::from_waveform(w, 0.0, 1.0, 10);
+    // Last sample is at t = 0.9, not t = 1.0.
+    EXPECT_NEAR(s.time_at(9), 0.9, 1e-12);
+}
+
+TEST(SampledSignal, ValueAtInterpolatesLinearly) {
+    SampledSignal s(0.0, 1.0, {0.0, 10.0, 20.0});
+    EXPECT_DOUBLE_EQ(s.value_at(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(s.value_at(1.25), 12.5);
+    EXPECT_DOUBLE_EQ(s.value_at(-1.0), 0.0);  // clamp low
+    EXPECT_DOUBLE_EQ(s.value_at(10.0), 20.0); // clamp high
+}
+
+TEST(SampledSignal, RmsOfSine) {
+    const SineWaveform w(0.0, 1.0, 1.0);
+    const auto s = SampledSignal::from_waveform(w, 0.0, 1.0, 1000);
+    EXPECT_NEAR(s.rms(), 1.0 / std::sqrt(2.0), 1e-3);
+}
+
+TEST(SampledSignal, MinMax) {
+    const SineWaveform w(0.5, 0.3, 1.0);
+    const auto s = SampledSignal::from_waveform(w, 0.0, 1.0, 1000);
+    EXPECT_NEAR(s.min(), 0.2, 1e-4);
+    EXPECT_NEAR(s.max(), 0.8, 1e-4);
+}
+
+TEST(SampledSignal, SliceTimeKeepsAlignment) {
+    SampledSignal s(0.0, 0.1, {0.0, 1.0, 2.0, 3.0, 4.0, 5.0});
+    const auto cut = s.slice_time(0.15, 0.45);
+    ASSERT_EQ(cut.size(), 3u);
+    EXPECT_NEAR(cut.start_time(), 0.2, 1e-12);
+    EXPECT_DOUBLE_EQ(cut[0], 2.0);
+    EXPECT_DOUBLE_EQ(cut[2], 4.0);
+}
+
+TEST(SampledSignal, WhiteNoiseHasRequestedSigma) {
+    SampledSignal s(0.0, 1e-6, std::vector<double>(50000, 0.0));
+    Rng rng(1234);
+    s.add_white_noise(rng, 0.005);
+    EXPECT_NEAR(stddev(s.samples()), 0.005, 3e-4);
+    EXPECT_NEAR(mean(s.samples()), 0.0, 3e-4);
+}
+
+TEST(SampledSignal, ZeroNoiseIsNoOp) {
+    SampledSignal s(0.0, 1.0, {1.0, 2.0});
+    Rng rng(1);
+    s.add_white_noise(rng, 0.0);
+    EXPECT_DOUBLE_EQ(s[0], 1.0);
+    EXPECT_DOUBLE_EQ(s[1], 2.0);
+}
+
+TEST(XyTrace, RequiresMatchingTimeBase) {
+    SampledSignal x(0.0, 1.0, {0.0, 1.0, 2.0});
+    SampledSignal y_ok(0.0, 1.0, {5.0, 6.0, 7.0});
+    EXPECT_NO_THROW(XyTrace(x, y_ok));
+    SampledSignal y_len(0.0, 1.0, {5.0, 6.0});
+    EXPECT_THROW(XyTrace(x, y_len), ContractError);
+    SampledSignal y_dt(0.0, 0.5, {5.0, 6.0, 7.0});
+    EXPECT_THROW(XyTrace(x, y_dt), ContractError);
+}
+
+TEST(XyTrace, BoundingBox) {
+    SampledSignal x(0.0, 1.0, {0.1, 0.9, 0.5});
+    SampledSignal y(0.0, 1.0, {0.2, 0.4, 0.8});
+    const XyTrace tr(x, y);
+    const auto box = tr.bounding_box();
+    EXPECT_DOUBLE_EQ(box.x_min, 0.1);
+    EXPECT_DOUBLE_EQ(box.x_max, 0.9);
+    EXPECT_DOUBLE_EQ(box.y_min, 0.2);
+    EXPECT_DOUBLE_EQ(box.y_max, 0.8);
+}
+
+TEST(XyTrace, NoiseAffectsBothChannels) {
+    SampledSignal x(0.0, 1.0, std::vector<double>(1000, 0.0));
+    SampledSignal y(0.0, 1.0, std::vector<double>(1000, 0.0));
+    XyTrace tr(std::move(x), std::move(y));
+    Rng rng(77);
+    tr.add_white_noise(rng, 0.01);
+    EXPECT_GT(stddev(tr.x().samples()), 0.005);
+    EXPECT_GT(stddev(tr.y().samples()), 0.005);
+    // Channels get independent draws.
+    bool differ = false;
+    for (std::size_t i = 0; i < tr.size() && !differ; ++i)
+        differ = tr.x()[i] != tr.y()[i];
+    EXPECT_TRUE(differ);
+}
+
+} // namespace
+} // namespace xysig

@@ -1,0 +1,122 @@
+// Unit tests for stimulus waveforms, including the exact common-period
+// computation that defines the Lissajous period T used by the signature.
+
+#include "signal/waveform.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace xysig {
+namespace {
+
+TEST(DcWaveform, ConstantEverywhere) {
+    const DcWaveform w(0.55);
+    EXPECT_DOUBLE_EQ(w.value(0.0), 0.55);
+    EXPECT_DOUBLE_EQ(w.value(1e3), 0.55);
+    EXPECT_DOUBLE_EQ(w.period(), 0.0);
+}
+
+TEST(SineWaveform, ValueAndPeriod) {
+    const SineWaveform w(0.5, 0.3, 5e3);
+    EXPECT_DOUBLE_EQ(w.period(), 1.0 / 5e3);
+    EXPECT_NEAR(w.value(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(w.value(0.25 / 5e3), 0.8, 1e-12); // quarter period: peak
+    EXPECT_NEAR(w.value(0.75 / 5e3), 0.2, 1e-12);
+}
+
+TEST(SineWaveform, PhaseShift) {
+    const SineWaveform w(0.0, 1.0, 1.0, kPi / 2.0); // cos
+    EXPECT_NEAR(w.value(0.0), 1.0, 1e-12);
+}
+
+TEST(SineWaveform, RejectsNonPositiveFrequency) {
+    EXPECT_THROW(SineWaveform(0.0, 1.0, 0.0), ContractError);
+}
+
+TEST(CommonPeriod, HarmonicTones) {
+    // 5 kHz and 15 kHz -> period of the 5 kHz fundamental.
+    const double t = common_period({5e3, 15e3});
+    EXPECT_NEAR(t, 1.0 / 5e3, 1e-15);
+}
+
+TEST(CommonPeriod, NonHarmonicRational) {
+    // 2 Hz and 3 Hz -> T = 1 s (LCM of 1/2 and 1/3).
+    EXPECT_NEAR(common_period({2.0, 3.0}), 1.0, 1e-12);
+    // 10 Hz and 25 Hz -> T = 0.2 s (f ratio 2:5).
+    EXPECT_NEAR(common_period({10.0, 25.0}), 0.2, 1e-12);
+}
+
+TEST(CommonPeriod, SingleTone) {
+    EXPECT_NEAR(common_period({7.0}), 1.0 / 7.0, 1e-15);
+}
+
+TEST(CommonPeriod, RejectsEmptyAndNonPositive) {
+    EXPECT_THROW((void)common_period({}), NumericError);
+    EXPECT_THROW((void)common_period({1.0, -2.0}), NumericError);
+}
+
+TEST(MultitoneWaveform, PaperStimulusPeriodIs200us) {
+    // The paper's chronogram (Fig. 7) spans one 200 us Lissajous period;
+    // tones at 5 kHz and 15 kHz share exactly that period.
+    const MultitoneWaveform w(0.5, {{0.3, 5e3, 0.0}, {0.15, 15e3, 0.0}});
+    EXPECT_NEAR(w.period(), 200e-6, 1e-12);
+}
+
+TEST(MultitoneWaveform, ValueIsSumOfTones) {
+    const MultitoneWaveform w(0.5, {{0.3, 5e3, 0.0}, {0.15, 15e3, 0.3}});
+    const double t = 37e-6;
+    const double expected = 0.5 + 0.3 * std::sin(kTwoPi * 5e3 * t) +
+                            0.15 * std::sin(kTwoPi * 15e3 * t + 0.3);
+    EXPECT_NEAR(w.value(t), expected, 1e-12);
+}
+
+TEST(MultitoneWaveform, PeriodicityHolds) {
+    const MultitoneWaveform w(0.5, {{0.3, 5e3, 0.1}, {0.15, 15e3, 0.7}});
+    const double T = w.period();
+    for (double t : {0.0, 13e-6, 150e-6})
+        EXPECT_NEAR(w.value(t), w.value(t + T), 1e-9);
+}
+
+TEST(MultitoneWaveform, ExcursionBound) {
+    const MultitoneWaveform w(0.5, {{0.3, 5e3, 0.0}, {0.15, 15e3, 0.0}});
+    EXPECT_DOUBLE_EQ(w.max_abs_excursion(), 0.45);
+}
+
+TEST(PwlWaveform, InterpolatesAndClamps) {
+    const PwlWaveform w({{0.0, 0.0}, {1.0, 2.0}, {3.0, 0.0}});
+    EXPECT_DOUBLE_EQ(w.value(-1.0), 0.0); // clamp before
+    EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(w.value(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(w.value(2.0), 1.0);
+    EXPECT_DOUBLE_EQ(w.value(5.0), 0.0); // clamp after
+}
+
+TEST(PwlWaveform, RejectsNonMonotonicTime) {
+    EXPECT_THROW(PwlWaveform({{0.0, 0.0}, {0.0, 1.0}}), ContractError);
+}
+
+TEST(PulseWaveform, EdgesAndLevels) {
+    // 0->1 pulse: delay 1, rise 1, width 2, fall 1, period 10.
+    const PulseWaveform w(0.0, 1.0, 1.0, 1.0, 1.0, 2.0, 10.0);
+    EXPECT_DOUBLE_EQ(w.value(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(w.value(1.5), 0.5); // mid-rise
+    EXPECT_DOUBLE_EQ(w.value(3.0), 1.0); // on
+    EXPECT_DOUBLE_EQ(w.value(4.5), 0.5); // mid-fall
+    EXPECT_DOUBLE_EQ(w.value(9.0), 0.0); // off
+    EXPECT_DOUBLE_EQ(w.value(11.5), 0.5); // periodic repeat
+}
+
+TEST(Waveform, CloneIsDeepAndEquivalent) {
+    const MultitoneWaveform w(0.5, {{0.3, 5e3, 0.0}, {0.15, 15e3, 0.0}});
+    const auto c = w.clone();
+    for (double t : {0.0, 1e-5, 9e-5})
+        EXPECT_DOUBLE_EQ(c->value(t), w.value(t));
+    EXPECT_DOUBLE_EQ(c->period(), w.period());
+}
+
+} // namespace
+} // namespace xysig

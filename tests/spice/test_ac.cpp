@@ -1,0 +1,162 @@
+// AC analysis tests against first/second-order analytic responses.
+
+#include "spice/ac.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "spice/dc.h"
+#include "spice/elements.h"
+#include "spice/mosfet.h"
+
+namespace xysig::spice {
+namespace {
+
+TEST(Ac, RcLowPassMagnitudeAndPhase) {
+    const double r = 1e3, c = 1e-9;
+    const double fc = 1.0 / (kTwoPi * r * c);
+    Netlist nl;
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    auto& v = nl.add<VoltageSource>("V1", in, kGround, 0.0);
+    v.set_ac(1.0);
+    nl.add<Resistor>("R1", in, out, r);
+    nl.add<Capacitor>("C1", out, kGround, c);
+
+    AcOptions opts;
+    opts.f_start = fc / 100.0;
+    opts.f_stop = fc * 100.0;
+    opts.points_per_decade = 10;
+    const auto res = run_ac(nl, opts);
+
+    for (std::size_t i = 0; i < res.point_count(); ++i) {
+        const double f = res.frequencies()[i];
+        const std::complex<double> expected =
+            1.0 / std::complex<double>(1.0, f / fc);
+        const auto got = res.voltage("out", i);
+        EXPECT_NEAR(std::abs(got), std::abs(expected), 1e-6);
+        EXPECT_NEAR(std::arg(got), std::arg(expected), 1e-6);
+    }
+}
+
+TEST(Ac, RlcSeriesResonancePeak) {
+    const double r = 100.0, l = 1e-3, c = 1e-9; // Q = 10: wide enough to sample
+    const double f0 = 1.0 / (kTwoPi * std::sqrt(l * c));
+    const double q = std::sqrt(l / c) / r; // ~100
+    Netlist nl;
+    const NodeId in = nl.node("in");
+    const NodeId a = nl.node("a");
+    const NodeId out = nl.node("out");
+    auto& v = nl.add<VoltageSource>("V1", in, kGround, 0.0);
+    v.set_ac(1.0);
+    nl.add<Resistor>("R1", in, a, r);
+    nl.add<Inductor>("L1", a, out, l);
+    nl.add<Capacitor>("C1", out, kGround, c);
+
+    AcOptions opts;
+    opts.f_start = f0 * 0.5;
+    opts.f_stop = f0 * 2.0;
+    opts.points_per_decade = 400;
+    const auto res = run_ac(nl, opts);
+
+    // Capacitor voltage peaks near f0 with magnitude ~ Q.
+    double peak = 0.0;
+    double f_peak = 0.0;
+    for (std::size_t i = 0; i < res.point_count(); ++i) {
+        const double m = std::abs(res.voltage("out", i));
+        if (m > peak) {
+            peak = m;
+            f_peak = res.frequencies()[i];
+        }
+    }
+    EXPECT_NEAR(f_peak, f0, 0.02 * f0);
+    EXPECT_NEAR(peak, q, 0.05 * q);
+}
+
+TEST(Ac, OpampInvertingAmpIsFlat) {
+    Netlist nl;
+    const NodeId in = nl.node("in");
+    const NodeId vm = nl.node("vm");
+    const NodeId out = nl.node("out");
+    auto& v = nl.add<VoltageSource>("V1", in, kGround, 0.0);
+    v.set_ac(1.0);
+    nl.add<Resistor>("R1", in, vm, 1e3);
+    nl.add<Resistor>("R2", vm, out, 5e3);
+    nl.add<IdealOpamp>("U1", kGround, vm, out);
+    AcOptions opts;
+    opts.f_start = 10.0;
+    opts.f_stop = 1e6;
+    opts.points_per_decade = 5;
+    const auto res = run_ac(nl, opts);
+    for (std::size_t i = 0; i < res.point_count(); ++i) {
+        EXPECT_NEAR(std::abs(res.voltage("out", i)), 5.0, 1e-6);
+        EXPECT_NEAR(std::abs(std::arg(res.voltage("out", i))), kPi, 1e-6);
+    }
+}
+
+TEST(Ac, MosfetCommonSourceGainMatchesGmRd) {
+    // Small-signal gain of a common-source stage: -gm*(RD || ro).
+    Netlist nl;
+    const NodeId vdd = nl.node("vdd");
+    const NodeId g = nl.node("g");
+    const NodeId d = nl.node("d");
+    nl.add<VoltageSource>("VDD", vdd, kGround, 1.2);
+    auto& vg = nl.add<VoltageSource>("VG", g, kGround, 0.6);
+    vg.set_ac(1.0);
+    const double rd = 10e3;
+    nl.add<Resistor>("RD", vdd, d, rd);
+    MosParams p;
+    p.w = 1.8e-6;
+    p.l = 180e-9;
+    nl.add<Mosfet>("M1", d, g, kGround, p);
+
+    // Compute expected gain from the solved operating point.
+    const auto op = dc_operating_point(nl);
+    const auto e = mos_evaluate(p, 0.6, op.voltage("d"));
+    const double expected = e.gm / (1.0 / rd + e.gds);
+
+    AcOptions opts;
+    opts.f_start = 100.0;
+    opts.f_stop = 1000.0;
+    opts.points_per_decade = 3;
+    const auto res = run_ac(nl, opts);
+    EXPECT_NEAR(std::abs(res.voltage("d", 0)), expected, 1e-6 * expected);
+}
+
+TEST(Ac, MagnitudePhaseHelpers) {
+    Netlist nl;
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    auto& v = nl.add<VoltageSource>("V1", in, kGround, 0.0);
+    v.set_ac(2.0); // non-unit AC magnitude scales the response
+    nl.add<Resistor>("R1", in, out, 1e3);
+    nl.add<Resistor>("R2", out, kGround, 1e3);
+    AcOptions opts;
+    opts.f_start = 1e3;
+    opts.f_stop = 1e4;
+    opts.points_per_decade = 2;
+    const auto res = run_ac(nl, opts);
+    const auto mags = res.magnitude("out");
+    const auto phases = res.phase("out");
+    ASSERT_EQ(mags.size(), res.point_count());
+    for (std::size_t i = 0; i < mags.size(); ++i) {
+        EXPECT_NEAR(mags[i], 1.0, 1e-9); // divider halves the 2 V drive
+        EXPECT_NEAR(phases[i], 0.0, 1e-9);
+    }
+}
+
+TEST(Ac, RejectsBadFrequencyRange) {
+    Netlist nl;
+    const NodeId in = nl.node("in");
+    nl.add<VoltageSource>("V1", in, kGround, 1.0);
+    nl.add<Resistor>("R1", in, kGround, 1e3);
+    AcOptions opts;
+    opts.f_start = 100.0;
+    opts.f_stop = 10.0;
+    EXPECT_THROW((void)run_ac(nl, opts), ContractError);
+}
+
+} // namespace
+} // namespace xysig::spice

@@ -1,0 +1,192 @@
+// MOSFET model tests: operating regions, derivative consistency (finite
+// differences), pMOS mirroring, EKV vs Level-1 cross-checks.
+
+#include "spice/mosfet.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace xysig::spice {
+namespace {
+
+MosParams nominal_nmos() {
+    MosParams p;
+    p.w = 1.8e-6;
+    p.l = 180e-9;
+    p.vt0 = 0.30;
+    p.kp = 250e-6;
+    p.n_slope = 1.35;
+    p.lambda = 0.1;
+    return p;
+}
+
+TEST(MosEkv, CutOffCurrentIsTiny) {
+    const auto e = mos_evaluate(nominal_nmos(), 0.0, 0.6);
+    EXPECT_GT(e.id, 0.0); // subthreshold leakage, not exactly zero
+    EXPECT_LT(e.id, 1e-8);
+}
+
+TEST(MosEkv, SubthresholdIsExponential) {
+    // One decade of current per n*phi_t*ln(10) of VGS below threshold.
+    const MosParams p = nominal_nmos();
+    const double step = p.n_slope * kThermalVoltage300K * std::log(10.0);
+    const double i1 = mos_evaluate(p, 0.05, 0.6).id;
+    const double i2 = mos_evaluate(p, 0.05 + step, 0.6).id;
+    // Moderate-inversion correction leaves ~6% deviation from the pure
+    // exponential decade at this depth.
+    EXPECT_NEAR(i2 / i1, 10.0, 0.7);
+}
+
+TEST(MosEkv, StrongInversionIsQuasiQuadratic) {
+    // The paper's monitor relies on ID ~ (VGS - VT)^2 in saturation: doubling
+    // the overdrive should quadruple the current (within CLM and moderate
+    // inversion corrections).
+    const MosParams p = nominal_nmos();
+    const double i1 = mos_evaluate(p, p.vt0 + 0.2, 1.2).id;
+    const double i2 = mos_evaluate(p, p.vt0 + 0.4, 1.2).id;
+    EXPECT_NEAR(i2 / i1, 4.0, 0.45);
+}
+
+TEST(MosEkv, SaturationMatchesSquareLawScale) {
+    // Analytic strong-inversion saturation: (kp/2n)(W/L)(VGS-VT)^2.
+    const MosParams p = nominal_nmos();
+    const double vov = 0.4;
+    const double expected =
+        p.kp / (2.0 * p.n_slope) * p.aspect_ratio() * vov * vov;
+    const double id = mos_evaluate(p, p.vt0 + vov, 1.2).id;
+    // CLM adds ~12%; allow 25%.
+    EXPECT_NEAR(id, expected, 0.25 * expected);
+}
+
+TEST(MosEkv, CurrentScalesWithAspectRatio) {
+    MosParams p = nominal_nmos();
+    const double i1 = mos_evaluate(p, 0.7, 1.0).id;
+    p.w *= 3.0;
+    const double i3 = mos_evaluate(p, 0.7, 1.0).id;
+    EXPECT_NEAR(i3 / i1, 3.0, 1e-9);
+}
+
+TEST(MosEkv, ZeroVdsZeroCurrent) {
+    const auto e = mos_evaluate(nominal_nmos(), 0.8, 0.0);
+    EXPECT_NEAR(e.id, 0.0, 1e-15);
+}
+
+TEST(MosEkv, DrainSourceSymmetry) {
+    // EKV is symmetric: reversing VDS with the gate referenced to the new
+    // source mirrors the current.
+    const MosParams p = nominal_nmos();
+    const double vgs = 0.8, vds = 0.3;
+    const double fwd = mos_evaluate(p, vgs, vds).id;
+    // Swap roles: gate-new-source voltage = vgs - vds, vds negated.
+    const double rev = mos_evaluate(p, vgs - vds, -vds).id;
+    EXPECT_NEAR(fwd, -rev, 1e-9 * std::abs(fwd) + 1e-15);
+}
+
+class MosDerivatives : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MosDerivatives, EkvMatchesFiniteDifference) {
+    const auto [vgs, vds] = GetParam();
+    const MosParams p = nominal_nmos();
+    const double h = 1e-7;
+    const auto e = mos_evaluate(p, vgs, vds);
+    const double gm_fd =
+        (mos_evaluate(p, vgs + h, vds).id - mos_evaluate(p, vgs - h, vds).id) /
+        (2.0 * h);
+    const double gds_fd =
+        (mos_evaluate(p, vgs, vds + h).id - mos_evaluate(p, vgs, vds - h).id) /
+        (2.0 * h);
+    const double scale_gm = std::max(1e-12, std::abs(gm_fd));
+    const double scale_gds = std::max(1e-12, std::abs(gds_fd));
+    EXPECT_NEAR(e.gm, gm_fd, 1e-5 * scale_gm + 1e-12);
+    EXPECT_NEAR(e.gds, gds_fd, 1e-5 * scale_gds + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasGrid, MosDerivatives,
+    ::testing::Values(std::make_tuple(0.1, 0.1), std::make_tuple(0.2, 0.6),
+                      std::make_tuple(0.35, 0.05), std::make_tuple(0.5, 0.2),
+                      std::make_tuple(0.7, 0.7), std::make_tuple(0.9, 1.1),
+                      std::make_tuple(1.1, 0.4), std::make_tuple(0.6, 1.2)));
+
+TEST(MosPmos, MirrorsNmosBehaviour) {
+    MosParams pn = nominal_nmos();
+    MosParams pp = pn;
+    pp.type = MosType::pmos;
+    // A conducting pMOS: vgs = -0.7, vds = -0.6.
+    const auto en = mos_evaluate(pn, 0.7, 0.6);
+    const auto ep = mos_evaluate(pp, -0.7, -0.6);
+    EXPECT_NEAR(ep.id, -en.id, 1e-15 + 1e-12 * std::abs(en.id));
+}
+
+TEST(MosPmos, DerivativesMatchFiniteDifference) {
+    MosParams p = nominal_nmos();
+    p.type = MosType::pmos;
+    const double vgs = -0.8, vds = -0.5, h = 1e-7;
+    const auto e = mos_evaluate(p, vgs, vds);
+    const double gm_fd =
+        (mos_evaluate(p, vgs + h, vds).id - mos_evaluate(p, vgs - h, vds).id) /
+        (2.0 * h);
+    const double gds_fd =
+        (mos_evaluate(p, vgs, vds + h).id - mos_evaluate(p, vgs, vds - h).id) /
+        (2.0 * h);
+    EXPECT_NEAR(e.gm, gm_fd, 1e-5 * std::abs(gm_fd) + 1e-12);
+    EXPECT_NEAR(e.gds, gds_fd, 1e-5 * std::abs(gds_fd) + 1e-12);
+}
+
+TEST(MosLevel1, CutoffIsExactlyZero) {
+    MosParams p = nominal_nmos();
+    p.model = MosModel::level1;
+    EXPECT_DOUBLE_EQ(mos_evaluate(p, 0.2, 0.6).id, 0.0);
+}
+
+TEST(MosLevel1, SaturationSquareLaw) {
+    MosParams p = nominal_nmos();
+    p.model = MosModel::level1;
+    p.lambda = 0.0;
+    const double vov = 0.3;
+    const double expected = 0.5 * p.kp * p.aspect_ratio() * vov * vov;
+    EXPECT_NEAR(mos_evaluate(p, p.vt0 + vov, 1.0).id, expected, 1e-12);
+}
+
+TEST(MosLevel1, TriodeLaw) {
+    MosParams p = nominal_nmos();
+    p.model = MosModel::level1;
+    p.lambda = 0.0;
+    const double vov = 0.5, vds = 0.2;
+    const double expected = p.kp * p.aspect_ratio() * (vov * vds - 0.5 * vds * vds);
+    EXPECT_NEAR(mos_evaluate(p, p.vt0 + vov, vds).id, expected, 1e-12);
+}
+
+TEST(MosLevel1, NegativeVdsSymmetry) {
+    MosParams p = nominal_nmos();
+    p.model = MosModel::level1;
+    // id(vgs, -vds) = -id(vgs + vds, vds): gate referenced to the new source.
+    const double fwd = mos_evaluate(p, 0.8 + 0.3, 0.3).id;
+    const double rev = mos_evaluate(p, 0.8, -0.3).id;
+    EXPECT_NEAR(rev, -fwd, 1e-15);
+}
+
+TEST(MosModels, EkvApproachesLevel1DeepInStrongInversion) {
+    // With matched parameters and lambda = 0, deep strong inversion currents
+    // agree within the moderate-inversion correction (~ up to 20%).
+    MosParams ekv = nominal_nmos();
+    ekv.lambda = 0.0;
+    ekv.n_slope = 1.0;
+    MosParams l1 = ekv;
+    l1.model = MosModel::level1;
+    const double i_ekv = mos_evaluate(ekv, 1.1, 1.2).id;
+    const double i_l1 = mos_evaluate(l1, 1.1, 1.2).id;
+    EXPECT_NEAR(i_ekv / i_l1, 1.0, 0.2);
+}
+
+TEST(MosParams, InvalidGeometryIsContractViolation) {
+    MosParams p = nominal_nmos();
+    p.w = 0.0;
+    EXPECT_THROW((void)mos_evaluate(p, 0.5, 0.5), ContractError);
+}
+
+} // namespace
+} // namespace xysig::spice

@@ -1,0 +1,82 @@
+// Unit tests for netlist construction and validation.
+
+#include "spice/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "spice/elements.h"
+
+namespace xysig::spice {
+namespace {
+
+TEST(Netlist, GroundAliases) {
+    Netlist nl;
+    EXPECT_EQ(nl.node("0"), kGround);
+    EXPECT_EQ(nl.node("gnd"), kGround);
+    EXPECT_EQ(nl.node("GND"), kGround);
+}
+
+TEST(Netlist, NodeNamesAreCaseInsensitiveAndStable) {
+    Netlist nl;
+    const NodeId a = nl.node("out");
+    EXPECT_EQ(nl.node("OUT"), a);
+    EXPECT_EQ(nl.node("Out"), a);
+    const NodeId b = nl.node("in");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(nl.node_count(), 3u); // ground + 2
+}
+
+TEST(Netlist, FindNodeThrowsOnUnknown) {
+    Netlist nl;
+    EXPECT_THROW((void)nl.find_node("nope"), InvalidInput);
+}
+
+TEST(Netlist, DuplicateDeviceNameRejected) {
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    nl.add<Resistor>("R1", a, kGround, 1e3);
+    EXPECT_THROW(nl.add<Resistor>("R1", a, kGround, 2e3), InvalidInput);
+}
+
+TEST(Netlist, GetByNameAndType) {
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    nl.add<Resistor>("R1", a, kGround, 1e3);
+    EXPECT_DOUBLE_EQ(nl.get<Resistor>("R1").resistance(), 1e3);
+    EXPECT_THROW((void)nl.get<Capacitor>("R1"), InvalidInput);
+    EXPECT_THROW((void)nl.get<Resistor>("Rx"), InvalidInput);
+}
+
+TEST(Netlist, ValidateCatchesDanglingNode) {
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    (void)nl.node("floating");
+    nl.add<Resistor>("R1", a, kGround, 1e3);
+    EXPECT_THROW(nl.validate(), InvalidInput);
+}
+
+TEST(Netlist, ValidateRejectsEmptyCircuit) {
+    Netlist nl;
+    EXPECT_THROW(nl.validate(), InvalidInput);
+}
+
+TEST(Netlist, AssignUnknownsCountsExtras) {
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    const NodeId b = nl.node("b");
+    nl.add<VoltageSource>("V1", a, kGround, 1.0); // +1 extra
+    nl.add<Resistor>("R1", a, b, 1e3);
+    nl.add<Inductor>("L1", b, kGround, 1e-3); // +1 extra
+    // 2 node voltages + 2 branch currents.
+    EXPECT_EQ(nl.assign_unknowns(), 4u);
+}
+
+TEST(Netlist, DeviceNodeMustExist) {
+    Netlist nl;
+    (void)nl.node("a");
+    // NodeId 99 was never created.
+    EXPECT_THROW(nl.add<Resistor>("R1", 99, kGround, 1e3), ContractError);
+}
+
+} // namespace
+} // namespace xysig::spice

@@ -1,0 +1,182 @@
+// SPICE-deck parser tests: every card type, engineering notation, error
+// reporting, and an end-to-end parse -> solve check.
+
+#include "spice/parser.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "spice/ac.h"
+#include "spice/dc.h"
+#include "spice/diode.h"
+#include "spice/elements.h"
+#include "spice/mosfet.h"
+#include "spice/transient.h"
+
+namespace xysig::spice {
+namespace {
+
+TEST(Parser, ResistiveDividerSolves) {
+    const auto nl = parse_deck(R"(divider test
+V1 in 0 10
+R1 in mid 3k
+R2 mid 0 7k
+.end
+)");
+    const auto op = dc_operating_point(nl);
+    EXPECT_NEAR(op.voltage("mid"), 7.0, 1e-6);
+}
+
+TEST(Parser, EngineeringSuffixesAndComments) {
+    const auto nl = parse_deck(R"(suffixes
+* a comment line
+V1 a 0 1.5
+R1 a b 4.7k
+
+C1 b 0 180n
+)");
+    EXPECT_DOUBLE_EQ(nl.get<Resistor>("R1").resistance(), 4700.0);
+    EXPECT_DOUBLE_EQ(nl.get<Capacitor>("C1").capacitance(), 180e-9);
+}
+
+TEST(Parser, SinSourceWithPhase) {
+    const auto nl = parse_deck(R"(sin
+V1 in 0 SIN(0.5 0.3 5k 90)
+R1 in 0 1k
+)");
+    const auto& v = nl.get<VoltageSource>("V1");
+    // Phase 90 deg: value at t=0 is offset + amplitude.
+    EXPECT_NEAR(v.waveform().value(0.0), 0.8, 1e-12);
+    EXPECT_NEAR(v.waveform().period(), 1.0 / 5e3, 1e-15);
+}
+
+TEST(Parser, PulseAndPwlSources) {
+    const auto nl = parse_deck(R"(pulse+pwl
+V1 a 0 PULSE(0 1 1u 1u 1u 2u 10u)
+V2 b 0 PWL(0 0 1m 2.0)
+R1 a 0 1k
+R2 b 0 1k
+)");
+    EXPECT_NEAR(nl.get<VoltageSource>("V1").waveform().value(3e-6), 1.0, 1e-12);
+    EXPECT_NEAR(nl.get<VoltageSource>("V2").waveform().value(0.5e-3), 1.0, 1e-12);
+}
+
+TEST(Parser, AcSpecification) {
+    const auto nl = parse_deck(R"(ac deck
+V1 in 0 0 AC 1
+R1 in out 1k
+C1 out 0 1n
+)");
+    AcOptions opts;
+    opts.f_start = 1.0;
+    opts.f_stop = 10.0;
+    opts.points_per_decade = 1;
+    const auto res = run_ac(nl, opts);
+    EXPECT_NEAR(std::abs(res.voltage("out", 0)), 1.0, 1e-3); // far below fc
+}
+
+TEST(Parser, ControlledSources) {
+    const auto nl = parse_deck(R"(controlled
+V1 in 0 0.5
+E1 eo 0 in 0 4
+G1 go 0 in 0 2m
+RL1 eo 0 1k
+RL2 go 0 1k
+)");
+    const auto op = dc_operating_point(nl);
+    EXPECT_NEAR(op.voltage("eo"), 2.0, 1e-6);
+    EXPECT_NEAR(op.voltage("go"), -1.0, 1e-6);
+}
+
+TEST(Parser, DiodeWithParameters) {
+    const auto nl = parse_deck(R"(diode
+V1 in 0 5
+R1 in a 1k
+D1 a 0 IS=1e-12 N=1.5
+)");
+    const auto op = dc_operating_point(nl);
+    EXPECT_GT(op.voltage("a"), 0.3);
+    EXPECT_LT(op.voltage("a"), 1.0);
+}
+
+TEST(Parser, MosfetWithModelCard) {
+    const auto nl = parse_deck(R"(mos amp
+.MODEL nch NMOS VTO=0.3 KP=250u LAMBDA=0.1 N=1.35 LEVEL=EKV
+VDD vdd 0 1.2
+VG g 0 0.6
+RD vdd d 10k
+M1 d g 0 nch W=1.8u L=180n
+)");
+    const auto& m = nl.get<Mosfet>("M1");
+    EXPECT_DOUBLE_EQ(m.params().vt0, 0.3);
+    EXPECT_DOUBLE_EQ(m.params().w, 1.8e-6);
+    const auto op = dc_operating_point(nl);
+    EXPECT_GT(op.voltage("d"), 0.0);
+    EXPECT_LT(op.voltage("d"), 1.2);
+}
+
+TEST(Parser, ModelCardMayFollowDevice) {
+    // Two-pass parsing: .MODEL after the M card must still resolve.
+    const auto nl = parse_deck(R"(order
+VDD vdd 0 1.2
+M1 vdd g 0 nch W=1u L=180n
+VG g 0 0.5
+.MODEL nch NMOS VTO=0.3
+)");
+    EXPECT_NO_THROW((void)dc_operating_point(nl));
+}
+
+TEST(Parser, OpampExtension) {
+    const auto nl = parse_deck(R"(follower
+V1 in 0 1.25
+U1 in out out
+RL out 0 1k
+)");
+    const auto op = dc_operating_point(nl);
+    EXPECT_NEAR(op.voltage("out"), 1.25, 1e-9);
+}
+
+TEST(Parser, TransientOfParsedRc) {
+    const auto nl = parse_deck(R"(rc step
+V1 in 0 PWL(0 0 1n 1)
+R1 in out 1k
+C1 out 0 1u
+)");
+    TransientOptions opts;
+    opts.t_stop = 2e-3;
+    opts.dt = 1e-6;
+    const auto res = run_transient(nl, opts);
+    const double expected = 1.0 - std::exp(-2.0);
+    EXPECT_NEAR(res.voltage(nl.find_node("out"), res.step_count() - 1), expected,
+                5e-3);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+    try {
+        (void)parse_deck("title\nR1 a 0\n");
+        FAIL() << "expected InvalidInput";
+    } catch (const InvalidInput& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(Parser, UnknownElementRejected) {
+    EXPECT_THROW((void)parse_deck("t\nQ1 a b c model\n"), InvalidInput);
+    EXPECT_THROW((void)parse_deck("t\n.tran 1u 1m\n"), InvalidInput);
+    EXPECT_THROW((void)parse_deck("t\nM1 d g 0 nomodel W=1u\n"), InvalidInput);
+}
+
+TEST(Parser, EndTerminatesParsing) {
+    const auto nl = parse_deck(R"(end test
+V1 a 0 1
+R1 a 0 1k
+.END
+garbage that must be ignored
+)");
+    EXPECT_NO_THROW(nl.validate());
+}
+
+} // namespace
+} // namespace xysig::spice
