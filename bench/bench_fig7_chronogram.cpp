@@ -11,6 +11,7 @@
 #include "capture/capture_unit.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "core/batch_ndf.h"
 #include "core/ndf.h"
 #include "core/paper_setup.h"
 #include "core/pipeline.h"
@@ -143,6 +144,39 @@ void BM_FullPipelineNdf(benchmark::State& state) {
         benchmark::DoNotOptimize(pipe.ndf_of(defective));
 }
 BENCHMARK(BM_FullPipelineNdf);
+
+void BM_FullPipelineNdfScratch(benchmark::State& state) {
+    // The buffer-reusing path the batch engine runs per worker thread.
+    core::SignaturePipeline pipe = make_pipeline();
+    pipe.set_golden(filter::BehaviouralCut(core::paper_biquad()));
+    const filter::BehaviouralCut defective(
+        core::paper_biquad().with_f0_shift(0.10));
+    core::NdfScratch scratch;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pipe.ndf_of(defective, scratch));
+}
+BENCHMARK(BM_FullPipelineNdfScratch);
+
+void BM_BatchNdfUniverse(benchmark::State& state) {
+    // A 64-CUT fault universe against one golden signature through the
+    // batch engine; range(0) is the worker-thread count.
+    core::SignaturePipeline pipe = make_pipeline();
+    pipe.set_golden(filter::BehaviouralCut(core::paper_biquad()));
+    std::vector<filter::BehaviouralCut> universe;
+    for (int i = 0; i < 64; ++i)
+        universe.emplace_back(
+            core::paper_biquad().with_f0_shift((i - 32) / 200.0));
+    std::vector<const filter::Cut*> raw;
+    for (const auto& c : universe)
+        raw.push_back(&c);
+    const core::BatchNdfEvaluator batch(
+        pipe, {.threads = static_cast<unsigned>(state.range(0))});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(batch.evaluate(raw));
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BatchNdfUniverse)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 } // namespace
 

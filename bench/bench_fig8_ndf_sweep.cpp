@@ -78,14 +78,18 @@ void print_reproduction(std::ostream& out) {
 }
 
 void BM_DeviationSweep(benchmark::State& state) {
+    // range(0): samples per period; range(1): batch-engine thread count.
     core::SignaturePipeline pipe =
         make_pipeline(static_cast<std::size_t>(state.range(0)));
     const std::vector<double> devs = {-10.0, -5.0, 0.0, 5.0, 10.0};
+    const auto threads = static_cast<unsigned>(state.range(1));
     for (auto _ : state)
-        benchmark::DoNotOptimize(
-            core::deviation_sweep(pipe, core::paper_biquad(), devs));
+        benchmark::DoNotOptimize(core::deviation_sweep(
+            pipe, core::paper_biquad(), devs, core::SweptParameter::f0, threads));
 }
-BENCHMARK(BM_DeviationSweep)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DeviationSweep)
+    ->Args({1024, 1})->Args({4096, 1})->Args({1024, 4})->Args({4096, 4})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_SingleNdfPoint(benchmark::State& state) {
     core::SignaturePipeline pipe = make_pipeline(4096);

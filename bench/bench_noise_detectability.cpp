@@ -28,12 +28,14 @@ void print_reproduction(std::ostream& out) {
     opts.trials = 20;
     opts.noise_sigma = 0.005;
     opts.periods_averaged = 16;
+    opts.threads = 0; // parallel trials; results identical to serial
     const std::vector<double> devs = {-5.0, -2.0, -1.0, -0.5, 0.5, 1.0, 2.0, 5.0};
     const std::uint64_t seed = 20100308; // DATE 2010 vintage
     const auto study =
         core::noise_detectability(pipe, core::paper_biquad(), devs, opts, seed);
 
     out << "seed: " << seed << ", trials: " << opts.trials
+        << " (parallel, bit-identical to serial)"
         << ", periods averaged per capture: " << opts.periods_averaged << "\n";
     out << "noise floor: mean NDF = " << format_double(study.noise_floor_mean, 4)
         << ", decision threshold (p99) = " << format_double(study.threshold, 4)
@@ -72,6 +74,44 @@ void BM_NoisyNdf(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_NoisyNdf)->Arg(2048)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+void BM_NoisyNdfScratch(benchmark::State& state) {
+    // Same as BM_NoisyNdf but through the buffer-reusing scratch path the
+    // batch engine uses; the delta is the trace (re)allocation cost.
+    core::PipelineOptions popts;
+    popts.samples_per_period = static_cast<std::size_t>(state.range(0));
+    popts.noise_sigma = 0.005;
+    core::SignaturePipeline pipe(monitor::build_table1_bank(),
+                                 core::paper_stimulus(), popts);
+    pipe.set_golden(filter::BehaviouralCut(core::paper_biquad()));
+    const filter::BehaviouralCut cut(core::paper_biquad().with_f0_shift(0.01));
+    Rng rng(1);
+    core::NdfScratch scratch;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pipe.ndf_of(cut, scratch, &rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NoisyNdfScratch)->Arg(2048)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+void BM_DetectabilityStudy(benchmark::State& state) {
+    // The full Section IV-C study (noise floor + all deviation points)
+    // through the parallel Monte-Carlo engine; range(0) is the thread count.
+    core::PipelineOptions popts;
+    popts.samples_per_period = 1024;
+    core::SignaturePipeline pipe(monitor::build_table1_bank(),
+                                 core::paper_stimulus(), popts);
+    core::DetectabilityOptions opts;
+    opts.trials = 8;
+    opts.floor_trials = 16;
+    opts.periods_averaged = 4;
+    opts.threads = static_cast<unsigned>(state.range(0));
+    const std::vector<double> devs = {-2.0, -1.0, 1.0, 2.0};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::noise_detectability(
+            pipe, core::paper_biquad(), devs, opts, 20100308));
+}
+BENCHMARK(BM_DetectabilityStudy)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
 } // namespace
 

@@ -43,18 +43,27 @@ double Chronogram::dwell(std::size_t i) const {
 Chronogram Chronogram::from_trace(const XyTrace& trace,
                                   const monitor::MonitorBank& bank) {
     XYSIG_EXPECTS(trace.start_time() == 0.0);
-    const std::size_t n = trace.size();
     std::vector<CodeEvent> events;
+    encode_events(trace.x().samples(), trace.y().samples(), trace.dt(), bank,
+                  events);
+    const double period = trace.dt() * static_cast<double>(trace.size());
+    return Chronogram(period, static_cast<unsigned>(bank.size()), std::move(events));
+}
+
+void Chronogram::encode_events(std::span<const double> xs,
+                               std::span<const double> ys, double dt,
+                               const monitor::MonitorBank& bank,
+                               std::vector<CodeEvent>& events) {
+    XYSIG_EXPECTS(xs.size() == ys.size());
+    events.clear();
     unsigned prev = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        const unsigned code = bank.code(trace.x()[i], trace.y()[i]);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const unsigned code = bank.code(xs[i], ys[i]);
         if (i == 0 || code != prev) {
-            events.push_back({trace.time_at(i), code});
+            events.push_back({static_cast<double>(i) * dt, code});
             prev = code;
         }
     }
-    const double period = trace.dt() * static_cast<double>(n);
-    return Chronogram(period, static_cast<unsigned>(bank.size()), std::move(events));
 }
 
 } // namespace xysig::capture

@@ -5,6 +5,7 @@
 /// Piecewise-constant zone-code functions of time over one Lissajous period
 /// — the S(t) functions the NDF metric integrates (paper Fig. 7).
 
+#include <span>
 #include <vector>
 
 #include "monitor/monitor_bank.h"
@@ -44,6 +45,15 @@ public:
     /// must start at t = 0 (one steady-state period).
     static Chronogram from_trace(const XyTrace& trace,
                                  const monitor::MonitorBank& bank);
+
+    /// The run-length encoding step of from_trace on raw sample buffers:
+    /// clears `events` and fills it with the code changes of the (x, y)
+    /// samples (t = 0 trace, spacing dt). Shared with the batch engine so
+    /// per-thread event buffers can be reused across evaluations.
+    static void encode_events(std::span<const double> xs,
+                              std::span<const double> ys, double dt,
+                              const monitor::MonitorBank& bank,
+                              std::vector<CodeEvent>& events);
 
 private:
     double period_;

@@ -1,0 +1,200 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace xysig {
+
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+thread_local bool t_is_pool_worker = false;
+
+/// RAII flag so exceptions unwind the nesting marker correctly.
+struct RegionGuard {
+    bool previous;
+    RegionGuard() : previous(t_in_parallel_region) { t_in_parallel_region = true; }
+    ~RegionGuard() { t_in_parallel_region = previous; }
+};
+
+} // namespace
+
+unsigned default_thread_count() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::max(hw, 4u);
+}
+
+bool in_parallel_region() noexcept { return t_in_parallel_region; }
+
+ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity) {
+    XYSIG_EXPECTS(queue_capacity >= 1);
+    const unsigned n = threads == 0 ? default_thread_count() : threads;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::worker_loop() {
+    t_is_pool_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            cv_space_.notify_one();
+        }
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard lock(mutex_);
+            if (!first_error_)
+                first_error_ = std::current_exception();
+        }
+        {
+            std::lock_guard lock(mutex_);
+            if (--in_flight_ == 0)
+                cv_idle_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    XYSIG_EXPECTS(task != nullptr);
+    {
+        std::unique_lock lock(mutex_);
+        cv_space_.wait(lock,
+                       [this] { return stopping_ || queue_.size() < capacity_; });
+        if (stopping_)
+            throw std::runtime_error("ThreadPool::submit after shutdown");
+        queue_.push_back(std::move(task));
+        ++in_flight_;
+    }
+    cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock lock(mutex_);
+    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+    if (first_error_) {
+        std::exception_ptr err = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+void ThreadPool::shutdown() {
+    // Claim the worker handles under the lock so concurrent shutdown()
+    // calls (e.g. an explicit shutdown racing the destructor) each join a
+    // disjoint — possibly empty — set of threads.
+    std::vector<std::thread> claimed;
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+        claimed.swap(workers_);
+    }
+    cv_task_.notify_all();
+    cv_space_.notify_all();
+    for (auto& w : claimed)
+        if (w.joinable())
+            w.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+    // Leaked on purpose: workers must outlive all static destructors that
+    // might still evaluate batches during teardown.
+    static ThreadPool* pool = new ThreadPool();
+    return *pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  unsigned threads) {
+    if (begin >= end)
+        return;
+    const std::size_t n = end - begin;
+    const unsigned requested = threads == 0 ? default_thread_count() : threads;
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(requested, n));
+
+    // Serial fallback for nested loops AND for calls made from any pool
+    // worker (e.g. a task submitted directly to ThreadPool::shared() that
+    // calls into the batch engine): a worker that blocked waiting for
+    // helper tasks could starve the queue of the very workers needed to
+    // run them.
+    if (workers <= 1 || t_in_parallel_region || t_is_pool_worker) {
+        RegionGuard guard;
+        for (std::size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+
+    // Chunked dynamic scheduling: workers pull [i, i+grain) ranges off an
+    // atomic cursor, so uneven per-index cost balances automatically while
+    // keeping per-task overhead amortised.
+    struct Shared {
+        std::atomic<std::size_t> next;
+        std::atomic<bool> cancelled{false};
+        std::mutex mutex;
+        std::condition_variable done_cv;
+        std::size_t active = 0;
+        std::exception_ptr error;
+    };
+    auto shared = std::make_shared<Shared>();
+    shared->next.store(begin, std::memory_order_relaxed);
+    const std::size_t grain = std::max<std::size_t>(1, n / (8u * workers));
+
+    const auto run_chunks = [shared, end, grain, &body] {
+        RegionGuard guard;
+        while (!shared->cancelled.load(std::memory_order_relaxed)) {
+            const std::size_t i =
+                shared->next.fetch_add(grain, std::memory_order_relaxed);
+            if (i >= end)
+                return;
+            const std::size_t stop = std::min(end, i + grain);
+            try {
+                for (std::size_t k = i; k < stop; ++k)
+                    body(k);
+            } catch (...) {
+                std::lock_guard lock(shared->mutex);
+                if (!shared->error)
+                    shared->error = std::current_exception();
+                shared->cancelled.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    {
+        std::lock_guard lock(shared->mutex);
+        shared->active = workers - 1;
+    }
+    ThreadPool& pool = ThreadPool::shared();
+    for (unsigned w = 0; w + 1 < workers; ++w) {
+        pool.submit([shared, run_chunks] {
+            run_chunks();
+            std::lock_guard lock(shared->mutex);
+            if (--shared->active == 0)
+                shared->done_cv.notify_all();
+        });
+    }
+
+    run_chunks(); // the caller is a worker too: progress without pool slots
+
+    std::unique_lock lock(shared->mutex);
+    shared->done_cv.wait(lock, [&] { return shared->active == 0; });
+    if (shared->error)
+        std::rethrow_exception(shared->error);
+}
+
+} // namespace xysig

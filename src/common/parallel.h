@@ -1,0 +1,107 @@
+#ifndef XYSIG_COMMON_PARALLEL_H
+#define XYSIG_COMMON_PARALLEL_H
+
+/// \file parallel.h
+/// Thread-pool subsystem backing the batch evaluation engine.
+///
+/// The Monte-Carlo studies and fault-universe sweeps evaluate thousands of
+/// independent (CUT, RNG stream) samples; this header provides the two
+/// primitives they build on:
+///  * ThreadPool — a fixed set of workers draining a bounded task queue
+///    (submission applies backpressure instead of growing without bound);
+///  * parallel_for — a blocking data-parallel loop on a process-wide shared
+///    pool, with chunked work stealing, exception propagation to the
+///    caller, and serial fallback for nested invocations.
+///
+/// Determinism contract: parallel_for imposes no ordering on body
+/// invocations, so callers keep results reproducible by writing each index
+/// to its own output slot and deriving randomness from pre-forked
+/// per-index streams (see mc::run_monte_carlo_parallel).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xysig {
+
+/// Worker count used when a caller passes threads == 0: the hardware
+/// concurrency, but at least 4 so oversubscription demos and thread-count
+/// sweeps behave the same on small CI machines.
+[[nodiscard]] unsigned default_thread_count() noexcept;
+
+/// Fixed-size worker pool with a bounded FIFO task queue.
+///
+/// submit() blocks while the queue is full (backpressure). Tasks should not
+/// throw; if one does, the first exception is captured and rethrown from the
+/// next wait_idle() call (the destructor drains and swallows instead, since
+/// destructors must not throw).
+class ThreadPool {
+public:
+    /// \param threads        worker count; 0 means default_thread_count()
+    /// \param queue_capacity maximum queued (not yet running) tasks
+    explicit ThreadPool(unsigned threads = 0, std::size_t queue_capacity = 1024);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueues a task; blocks while the queue is at capacity. Throws
+    /// std::runtime_error if the pool has been shut down.
+    void submit(std::function<void()> task);
+
+    /// Blocks until every submitted task has finished; rethrows the first
+    /// exception a task leaked since the previous wait (if any).
+    void wait_idle();
+
+    /// Drains outstanding tasks and joins the workers. Idempotent; submit()
+    /// afterwards throws.
+    void shutdown();
+
+    [[nodiscard]] unsigned thread_count() const noexcept {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /// Process-wide pool used by parallel_for. Created on first use with
+    /// default_thread_count() workers; never destroyed before exit.
+    [[nodiscard]] static ThreadPool& shared();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_task_;  ///< signalled when work is available
+    std::condition_variable cv_space_; ///< signalled when queue space frees
+    std::condition_variable cv_idle_;  ///< signalled when in-flight hits zero
+    std::size_t capacity_;
+    std::size_t in_flight_ = 0; ///< queued + currently running tasks
+    std::exception_ptr first_error_;
+    bool stopping_ = false;
+};
+
+/// True while the current thread is executing inside a parallel_for body;
+/// nested parallel_for calls detect this and degrade to a serial loop
+/// instead of deadlocking on the shared pool.
+[[nodiscard]] bool in_parallel_region() noexcept;
+
+/// Runs body(i) for every i in [begin, end), distributing contiguous chunks
+/// over up to `threads` workers (0 means default_thread_count()). Blocks
+/// until the whole range is done. The calling thread participates as one of
+/// the workers, so progress is guaranteed even when the shared pool is
+/// saturated. Calls from inside a parallel_for body or from any ThreadPool
+/// worker thread degrade to a serial loop (a worker blocking on helper
+/// tasks could otherwise starve the pool into deadlock). If any body
+/// invocation throws, remaining chunks are abandoned and the first
+/// exception is rethrown on the caller.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  unsigned threads = 0);
+
+} // namespace xysig
+
+#endif // XYSIG_COMMON_PARALLEL_H

@@ -1,0 +1,56 @@
+#include "core/batch_ndf.h"
+
+#include "common/contracts.h"
+#include "common/parallel.h"
+
+namespace xysig::core {
+
+BatchNdfEvaluator::BatchNdfEvaluator(const SignaturePipeline& pipeline,
+                                     Options options)
+    : pipeline_(&pipeline), options_(options) {}
+
+std::vector<double> BatchNdfEvaluator::evaluate(
+    std::span<const filter::Cut* const> cuts) const {
+    XYSIG_EXPECTS(pipeline_->has_golden());
+    std::vector<double> out(cuts.size());
+    parallel_for(
+        0, cuts.size(),
+        [&](std::size_t i) {
+            XYSIG_EXPECTS(cuts[i] != nullptr);
+            // One scratch per worker thread, reused across the whole batch
+            // (and across batches on pool threads).
+            thread_local NdfScratch scratch;
+            out[i] = pipeline_->ndf_of(*cuts[i], scratch);
+        },
+        options_.threads);
+    return out;
+}
+
+std::vector<double> BatchNdfEvaluator::evaluate(
+    const std::vector<std::unique_ptr<filter::Cut>>& cuts) const {
+    std::vector<const filter::Cut*> raw;
+    raw.reserve(cuts.size());
+    for (const auto& c : cuts)
+        raw.push_back(c.get());
+    return evaluate(raw);
+}
+
+std::vector<double> BatchNdfEvaluator::evaluate_deviations(
+    const filter::Biquad& nominal, std::span<const double> deviations_percent,
+    SweptParameter parameter) const {
+    std::vector<filter::BehaviouralCut> universe;
+    universe.reserve(deviations_percent.size());
+    for (const double dev : deviations_percent) {
+        const double frac = dev / 100.0;
+        universe.emplace_back(parameter == SweptParameter::f0
+                                  ? nominal.with_f0_shift(frac)
+                                  : nominal.with_q_shift(frac));
+    }
+    std::vector<const filter::Cut*> raw;
+    raw.reserve(universe.size());
+    for (const auto& c : universe)
+        raw.push_back(&c);
+    return evaluate(raw);
+}
+
+} // namespace xysig::core

@@ -1,0 +1,60 @@
+#ifndef XYSIG_CORE_BATCH_NDF_H
+#define XYSIG_CORE_BATCH_NDF_H
+
+/// \file batch_ndf.h
+/// Parallel batch NDF engine: evaluates a vector of CUTs — a fault
+/// universe, a set of mismatch samples, an f0/Q sweep — against one golden
+/// SignaturePipeline concurrently. Each worker thread owns an NdfScratch,
+/// so a batch of thousands of evaluations reuses a handful of trace
+/// allocations instead of reallocating per sample. Results are in input
+/// order and bit-identical to calling SignaturePipeline::ndf_of one by one.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/sweep.h"
+
+namespace xysig::core {
+
+struct BatchNdfOptions {
+    unsigned threads = 0; ///< worker count; 0 = default_thread_count()
+};
+
+class BatchNdfEvaluator {
+public:
+    using Options = BatchNdfOptions;
+
+    /// The pipeline is kept by reference and must outlive the evaluator;
+    /// its golden signature must be set before evaluate() is called.
+    explicit BatchNdfEvaluator(const SignaturePipeline& pipeline,
+                               Options options = {});
+
+    [[nodiscard]] const SignaturePipeline& pipeline() const noexcept {
+        return *pipeline_;
+    }
+
+    /// NDF of every CUT against the golden signature, in input order. CUTs
+    /// are evaluated concurrently and must not share mutable state:
+    /// BehaviouralCut is safe; SpiceCuts must each own a distinct netlist.
+    [[nodiscard]] std::vector<double> evaluate(
+        std::span<const filter::Cut* const> cuts) const;
+
+    /// Owning-pointer convenience overload.
+    [[nodiscard]] std::vector<double> evaluate(
+        const std::vector<std::unique_ptr<filter::Cut>>& cuts) const;
+
+    /// Builds the deviated-Biquad universe of a parameter sweep (the
+    /// Fig. 8 experiment's inner loop) and evaluates it.
+    [[nodiscard]] std::vector<double> evaluate_deviations(
+        const filter::Biquad& nominal, std::span<const double> deviations_percent,
+        SweptParameter parameter = SweptParameter::f0) const;
+
+private:
+    const SignaturePipeline* pipeline_;
+    Options options_;
+};
+
+} // namespace xysig::core
+
+#endif // XYSIG_CORE_BATCH_NDF_H

@@ -40,11 +40,14 @@ DetectabilityStudy noise_detectability(SignaturePipeline& pipeline,
     DetectabilityStudy study;
 
     // One trial = the mean NDF over periods_averaged independently noisy
-    // captured periods (a multi-period production capture).
+    // captured periods (a multi-period production capture). Trials run
+    // concurrently on pre-forked streams; the scratch buffers are reused
+    // across every trial a worker thread executes.
     const auto trial_ndf = [&](const filter::Cut& cut, Rng& rng) {
+        thread_local NdfScratch scratch;
         double acc = 0.0;
         for (int p = 0; p < options.periods_averaged; ++p)
-            acc += noisy.ndf_of(cut, &rng);
+            acc += noisy.ndf_of(cut, scratch, &rng);
         return acc / options.periods_averaged;
     };
 
@@ -52,18 +55,19 @@ DetectabilityStudy noise_detectability(SignaturePipeline& pipeline,
     const int floor_trials =
         options.floor_trials > 0 ? options.floor_trials : 2 * options.trials;
     const filter::BehaviouralCut golden_cut(nominal);
-    const auto floor_samples = mc::run_monte_carlo(
-        floor_trials, seed, [&](Rng& rng) { return trial_ndf(golden_cut, rng); });
+    const auto floor_samples = mc::run_monte_carlo_parallel(
+        floor_trials, seed, [&](Rng& rng) { return trial_ndf(golden_cut, rng); },
+        options.threads);
     study.noise_floor_mean = mean(floor_samples);
     study.threshold = percentile(floor_samples, options.threshold_percentile);
 
     for (const double dev : deviations_percent) {
         const filter::Biquad deviated = nominal.with_f0_shift(dev / 100.0);
         const filter::BehaviouralCut cut(deviated);
-        const auto samples = mc::run_monte_carlo(
+        const auto samples = mc::run_monte_carlo_parallel(
             options.trials, seed + 0x9E3779B9u + static_cast<std::uint64_t>(
                 std::llround(std::abs(dev) * 1000.0) + (dev < 0 ? 1 : 0)),
-            [&](Rng& rng) { return trial_ndf(cut, rng); });
+            [&](Rng& rng) { return trial_ndf(cut, rng); }, options.threads);
 
         DetectabilityPoint point;
         point.deviation_percent = dev;

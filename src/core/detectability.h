@@ -32,6 +32,10 @@ struct DetectabilityOptions {
     /// production-test interpretation under which the paper's "1% under
     /// 3*sigma = 15 mV noise" claim holds (a 16-period capture is 3.2 ms).
     int periods_averaged = 16;
+    /// Worker threads for the Monte-Carlo trials (0 = default_thread_count()).
+    /// Results are bit-identical whatever the thread count: every trial
+    /// draws from its own pre-forked RNG stream.
+    unsigned threads = 0;
 };
 
 struct DetectabilityPoint {

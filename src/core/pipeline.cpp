@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/contracts.h"
+#include "common/rng.h"
 
 namespace xysig::core {
 
@@ -51,6 +52,30 @@ const capture::Chronogram& SignaturePipeline::golden() const {
 
 double SignaturePipeline::ndf_of(const filter::Cut& cut, Rng* noise_rng) const {
     return ndf(chronogram(cut, noise_rng), golden());
+}
+
+double SignaturePipeline::ndf_of(const filter::Cut& cut, NdfScratch& scratch,
+                                 Rng* noise_rng) const {
+    double dt = 0.0;
+    cut.respond_into(stimulus_, options_.samples_per_period, scratch.xs_,
+                     scratch.ys_, dt);
+    if (noise_rng != nullptr && options_.noise_sigma > 0.0) {
+        // Same draw order as XyTrace::add_white_noise: all of x, then all
+        // of y, so noisy results stay bit-identical to the allocating path.
+        for (double& v : scratch.xs_)
+            v += noise_rng->normal(0.0, options_.noise_sigma);
+        for (double& v : scratch.ys_)
+            v += noise_rng->normal(0.0, options_.noise_sigma);
+    }
+    capture::Chronogram::encode_events(scratch.xs_, scratch.ys_, dt, bank_,
+                                       scratch.events_);
+    const double period = dt * static_cast<double>(scratch.xs_.size());
+    capture::Chronogram ideal(period, static_cast<unsigned>(bank_.size()),
+                              scratch.events_);
+    if (!options_.quantise)
+        return ndf(ideal, golden());
+    const capture::CaptureUnit unit(options_.capture);
+    return ndf(unit.capture(ideal).signature.to_chronogram(), golden());
 }
 
 } // namespace xysig::core

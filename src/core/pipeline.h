@@ -24,6 +24,22 @@ struct PipelineOptions {
     capture::CaptureOptions capture{};     ///< used when quantise is true
 };
 
+/// Reusable workspace for repeated NDF evaluations: the trace sample
+/// buffers (the dominant allocations — two samples_per_period arrays per
+/// call) and the run-length event buffer are written in place, so a batch
+/// of thousands of evaluations stops reallocating traces. The small event
+/// list is still copied into each Chronogram (tens of entries; a deliberate
+/// tradeoff to keep Chronogram immutable). One instance must not be shared
+/// between threads concurrently (give each worker its own, as
+/// BatchNdfEvaluator does).
+class NdfScratch {
+private:
+    friend class SignaturePipeline;
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+    std::vector<capture::CodeEvent> events_;
+};
+
 /// The flow, bound to a monitor bank and a stimulus.
 class SignaturePipeline {
 public:
@@ -56,6 +72,11 @@ public:
 
     /// NDF of a CUT against the stored golden signature.
     [[nodiscard]] double ndf_of(const filter::Cut& cut, Rng* noise_rng = nullptr) const;
+
+    /// Scratch-buffer variant used by the batch engine: bit-identical to
+    /// ndf_of(cut, noise_rng) but reuses the caller's buffers across calls.
+    [[nodiscard]] double ndf_of(const filter::Cut& cut, NdfScratch& scratch,
+                                Rng* noise_rng = nullptr) const;
 
 private:
     monitor::MonitorBank bank_;

@@ -5,26 +5,25 @@
 
 #include "common/contracts.h"
 #include "common/statistics.h"
+#include "core/batch_ndf.h"
 
 namespace xysig::core {
 
 std::vector<SweepPoint> deviation_sweep(SignaturePipeline& pipeline,
                                         const filter::Biquad& nominal,
                                         std::span<const double> deviations_percent,
-                                        SweptParameter parameter) {
+                                        SweptParameter parameter, unsigned threads) {
     XYSIG_EXPECTS(!deviations_percent.empty());
     pipeline.set_golden(filter::BehaviouralCut(nominal));
 
+    const BatchNdfEvaluator batch(pipeline, {.threads = threads});
+    const std::vector<double> ndfs =
+        batch.evaluate_deviations(nominal, deviations_percent, parameter);
+
     std::vector<SweepPoint> out;
     out.reserve(deviations_percent.size());
-    for (const double dev : deviations_percent) {
-        const double frac = dev / 100.0;
-        const filter::Biquad deviated = (parameter == SweptParameter::f0)
-                                            ? nominal.with_f0_shift(frac)
-                                            : nominal.with_q_shift(frac);
-        const filter::BehaviouralCut cut(deviated);
-        out.push_back({dev, pipeline.ndf_of(cut)});
-    }
+    for (std::size_t i = 0; i < deviations_percent.size(); ++i)
+        out.push_back({deviations_percent[i], ndfs[i]});
     return out;
 }
 

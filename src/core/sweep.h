@@ -23,11 +23,13 @@ struct SweepPoint {
 enum class SweptParameter { f0, q };
 
 /// Runs the deviation sweep of a behavioural Biquad CUT. The pipeline's
-/// golden signature is (re)set to the nominal filter first.
+/// golden signature is (re)set to the nominal filter first. Sweep points
+/// are evaluated concurrently through the batch NDF engine (threads == 0
+/// uses default_thread_count()); results do not depend on the thread count.
 [[nodiscard]] std::vector<SweepPoint> deviation_sweep(
     SignaturePipeline& pipeline, const filter::Biquad& nominal,
     std::span<const double> deviations_percent,
-    SweptParameter parameter = SweptParameter::f0);
+    SweptParameter parameter = SweptParameter::f0, unsigned threads = 0);
 
 /// Summary of the Fig. 8 shape claims: linearity and +/- symmetry.
 struct SweepShape {

@@ -9,18 +9,40 @@
 
 namespace xysig::filter {
 
+void Cut::respond_into(const MultitoneWaveform& stimulus,
+                       std::size_t samples_per_period, std::vector<double>& xs,
+                       std::vector<double>& ys, double& dt) const {
+    const XyTrace tr = respond(stimulus, samples_per_period);
+    xs.assign(tr.x().samples().begin(), tr.x().samples().end());
+    ys.assign(tr.y().samples().begin(), tr.y().samples().end());
+    dt = tr.dt();
+}
+
 BehaviouralCut::BehaviouralCut(Biquad filter) : filter_(std::move(filter)) {}
 
 XyTrace BehaviouralCut::respond(const MultitoneWaveform& stimulus,
                                 std::size_t samples_per_period) const {
+    // One copy of the sampling arithmetic: the batch engine's bit-identity
+    // contract depends on respond() and respond_into() never diverging.
+    std::vector<double> xs;
+    std::vector<double> ys;
+    double dt = 0.0;
+    respond_into(stimulus, samples_per_period, xs, ys, dt);
+    return XyTrace(SampledSignal(0.0, dt, std::move(xs)),
+                   SampledSignal(0.0, dt, std::move(ys)));
+}
+
+void BehaviouralCut::respond_into(const MultitoneWaveform& stimulus,
+                                  std::size_t samples_per_period,
+                                  std::vector<double>& xs, std::vector<double>& ys,
+                                  double& dt) const {
     XYSIG_EXPECTS(samples_per_period >= 16);
     const double period = stimulus.period();
     const MultitoneWaveform out = filter_.steady_state_output(stimulus);
-    SampledSignal x =
-        SampledSignal::from_waveform(stimulus, 0.0, period, samples_per_period);
-    SampledSignal y =
-        SampledSignal::from_waveform(out, 0.0, period, samples_per_period);
-    return XyTrace(std::move(x), std::move(y));
+    SampledSignal::sample_waveform_into(stimulus, 0.0, period, samples_per_period,
+                                        xs);
+    SampledSignal::sample_waveform_into(out, 0.0, period, samples_per_period, ys);
+    dt = period / static_cast<double>(samples_per_period);
 }
 
 std::string BehaviouralCut::description() const {

@@ -33,6 +33,17 @@ public:
     [[nodiscard]] virtual XyTrace respond(const MultitoneWaveform& stimulus,
                                           std::size_t samples_per_period) const = 0;
 
+    /// Buffer-reusing variant of respond() for the batch evaluation engine:
+    /// writes the x/y samples into the given buffers (resized to
+    /// samples_per_period) and sets dt to the sample spacing. Values are
+    /// bit-identical to respond(). The default forwards to respond() and
+    /// copies; BehaviouralCut overrides it to sample in place so per-thread
+    /// scratch buffers survive across a whole batch.
+    virtual void respond_into(const MultitoneWaveform& stimulus,
+                              std::size_t samples_per_period,
+                              std::vector<double>& xs, std::vector<double>& ys,
+                              double& dt) const;
+
     /// Human-readable description for reports.
     [[nodiscard]] virtual std::string description() const = 0;
 };
@@ -44,6 +55,9 @@ public:
 
     [[nodiscard]] XyTrace respond(const MultitoneWaveform& stimulus,
                                   std::size_t samples_per_period) const override;
+    void respond_into(const MultitoneWaveform& stimulus,
+                      std::size_t samples_per_period, std::vector<double>& xs,
+                      std::vector<double>& ys, double& dt) const override;
     [[nodiscard]] std::string description() const override;
 
     [[nodiscard]] const Biquad& filter() const noexcept { return filter_; }

@@ -3,9 +3,58 @@
 #include <cmath>
 
 #include "common/contracts.h"
+#include "common/parallel.h"
 #include "common/statistics.h"
 
 namespace xysig::mc {
+
+namespace {
+
+/// The n independent per-sample streams, forked in sample order. Both the
+/// serial and the parallel engines consume exactly this sequence, which is
+/// what makes their results bit-for-bit identical.
+std::vector<Rng> fork_streams(int n, std::uint64_t seed) {
+    Rng parent(seed);
+    std::vector<Rng> streams;
+    streams.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        streams.push_back(parent.fork());
+    return streams;
+}
+
+/// Column order statistics shared by the serial and parallel envelope
+/// builders (identical reduction code, so identical rounding).
+CurveEnvelope envelope_from_curves(std::vector<double> xs,
+                                   const std::vector<std::vector<double>>& curves) {
+    CurveEnvelope env;
+    env.xs = std::move(xs);
+    const std::size_t m = env.xs.size();
+    env.p05.resize(m);
+    env.p50.resize(m);
+    env.p95.resize(m);
+    env.lo.resize(m);
+    env.hi.resize(m);
+    std::vector<double> column;
+    for (std::size_t j = 0; j < m; ++j) {
+        column.clear();
+        for (const auto& c : curves)
+            if (!std::isnan(c[j]))
+                column.push_back(c[j]);
+        if (column.empty()) {
+            const double nan = std::nan("");
+            env.p05[j] = env.p50[j] = env.p95[j] = env.lo[j] = env.hi[j] = nan;
+            continue;
+        }
+        env.p05[j] = percentile(column, 5.0);
+        env.p50[j] = percentile(column, 50.0);
+        env.p95[j] = percentile(column, 95.0);
+        env.lo[j] = min_value(column);
+        env.hi[j] = max_value(column);
+    }
+    return env;
+}
+
+} // namespace
 
 std::vector<double> run_monte_carlo(int n, std::uint64_t seed,
                                     const std::function<double(Rng&)>& fn) {
@@ -17,6 +66,18 @@ std::vector<double> run_monte_carlo(int n, std::uint64_t seed,
         Rng stream = parent.fork();
         out.push_back(fn(stream));
     }
+    return out;
+}
+
+std::vector<double> run_monte_carlo_parallel(int n, std::uint64_t seed,
+                                             const std::function<double(Rng&)>& fn,
+                                             unsigned threads) {
+    XYSIG_EXPECTS(n >= 1);
+    std::vector<Rng> streams = fork_streams(n, seed);
+    std::vector<double> out(static_cast<std::size_t>(n));
+    parallel_for(
+        0, static_cast<std::size_t>(n),
+        [&](std::size_t i) { out[i] = fn(streams[i]); }, threads);
     return out;
 }
 
@@ -47,33 +108,28 @@ CurveEnvelope monte_carlo_envelope(
         XYSIG_ASSERT(ys.size() == xs.size());
         curves.push_back(std::move(ys));
     }
+    return envelope_from_curves(std::move(xs), curves);
+}
 
-    CurveEnvelope env;
-    env.xs = std::move(xs);
-    const std::size_t m = env.xs.size();
-    env.p05.resize(m);
-    env.p50.resize(m);
-    env.p95.resize(m);
-    env.lo.resize(m);
-    env.hi.resize(m);
-    std::vector<double> column;
-    for (std::size_t j = 0; j < m; ++j) {
-        column.clear();
-        for (const auto& c : curves)
-            if (!std::isnan(c[j]))
-                column.push_back(c[j]);
-        if (column.empty()) {
-            const double nan = std::nan("");
-            env.p05[j] = env.p50[j] = env.p95[j] = env.lo[j] = env.hi[j] = nan;
-            continue;
-        }
-        env.p05[j] = percentile(column, 5.0);
-        env.p50[j] = percentile(column, 50.0);
-        env.p95[j] = percentile(column, 95.0);
-        env.lo[j] = min_value(column);
-        env.hi[j] = max_value(column);
-    }
-    return env;
+CurveEnvelope monte_carlo_envelope_parallel(
+    int n, std::uint64_t seed, std::vector<double> xs,
+    const std::function<std::vector<double>(Rng&, const std::vector<double>&)>&
+        curve_fn,
+    unsigned threads) {
+    XYSIG_EXPECTS(n >= 2);
+    XYSIG_EXPECTS(!xs.empty());
+
+    std::vector<Rng> streams = fork_streams(n, seed);
+    std::vector<std::vector<double>> curves(static_cast<std::size_t>(n));
+    parallel_for(
+        0, static_cast<std::size_t>(n),
+        [&](std::size_t i) {
+            std::vector<double> ys = curve_fn(streams[i], xs);
+            XYSIG_ASSERT(ys.size() == xs.size());
+            curves[i] = std::move(ys);
+        },
+        threads);
+    return envelope_from_curves(std::move(xs), curves);
 }
 
 } // namespace xysig::mc

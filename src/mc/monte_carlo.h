@@ -19,6 +19,17 @@ namespace xysig::mc {
 [[nodiscard]] std::vector<double> run_monte_carlo(
     int n, std::uint64_t seed, const std::function<double(Rng&)>& fn);
 
+/// Parallel batch variant of run_monte_carlo: the n per-sample streams are
+/// forked up front in sample order (identical parent-RNG evolution to the
+/// serial path), then the samples are evaluated concurrently, each writing
+/// its own output slot. Results are bit-for-bit identical to
+/// run_monte_carlo for the same (n, seed, fn), whatever the thread count.
+/// fn must be safe to call concurrently on distinct Rng streams.
+/// threads == 0 uses default_thread_count().
+[[nodiscard]] std::vector<double> run_monte_carlo_parallel(
+    int n, std::uint64_t seed, const std::function<double(Rng&)>& fn,
+    unsigned threads = 0);
+
 /// Percentile envelope of a family of curves sampled on a common x grid.
 struct CurveEnvelope {
     std::vector<double> xs;
@@ -41,6 +52,16 @@ struct CurveEnvelope {
     int n, std::uint64_t seed, std::vector<double> xs,
     const std::function<std::vector<double>(Rng&, const std::vector<double>&)>&
         curve_fn);
+
+/// Parallel batch variant of monte_carlo_envelope, with the same pre-forked
+/// stream scheme as run_monte_carlo_parallel: bit-for-bit identical to the
+/// serial envelope for the same inputs, independent of thread count.
+/// curve_fn must be safe to call concurrently on distinct Rng streams.
+[[nodiscard]] CurveEnvelope monte_carlo_envelope_parallel(
+    int n, std::uint64_t seed, std::vector<double> xs,
+    const std::function<std::vector<double>(Rng&, const std::vector<double>&)>&
+        curve_fn,
+    unsigned threads = 0);
 
 } // namespace xysig::mc
 

@@ -18,10 +18,20 @@ SampledSignal SampledSignal::from_waveform(const Waveform& w, double t0,
     XYSIG_EXPECTS(duration > 0.0);
     XYSIG_EXPECTS(n >= 2);
     const double dt = duration / static_cast<double>(n);
-    std::vector<double> samples(n);
-    for (std::size_t i = 0; i < n; ++i)
-        samples[i] = w.value(t0 + static_cast<double>(i) * dt);
+    std::vector<double> samples;
+    sample_waveform_into(w, t0, duration, n, samples);
     return SampledSignal(t0, dt, std::move(samples));
+}
+
+void SampledSignal::sample_waveform_into(const Waveform& w, double t0,
+                                         double duration, std::size_t n,
+                                         std::vector<double>& buffer) {
+    XYSIG_EXPECTS(duration > 0.0);
+    XYSIG_EXPECTS(n >= 2);
+    const double dt = duration / static_cast<double>(n);
+    buffer.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        buffer[i] = w.value(t0 + static_cast<double>(i) * dt);
 }
 
 double SampledSignal::time_at(std::size_t i) const {

@@ -27,6 +27,13 @@ public:
     static SampledSignal from_waveform(const Waveform& w, double t0,
                                        double duration, std::size_t n);
 
+    /// Same sampling arithmetic as from_waveform, but written into an
+    /// existing buffer (resized to n). Batch evaluation uses this to reuse
+    /// per-thread trace buffers instead of reallocating them per sample.
+    static void sample_waveform_into(const Waveform& w, double t0,
+                                     double duration, std::size_t n,
+                                     std::vector<double>& buffer);
+
     [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
     [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
     [[nodiscard]] double dt() const noexcept { return dt_; }

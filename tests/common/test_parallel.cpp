@@ -1,0 +1,151 @@
+// Thread-pool subsystem tests: bounded-queue pool lifecycle and the
+// parallel_for primitive (coverage, exception propagation, nesting).
+
+#include "common/parallel.h"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xysig {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.thread_count(), 3u);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] { ++counter; });
+        // No wait_idle: the destructor must finish the queue before joining.
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+    ThreadPool pool(2);
+    pool.submit([] {});
+    pool.shutdown();
+    EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+    pool.shutdown(); // idempotent
+}
+
+TEST(ThreadPool, WaitIdleRethrowsTaskException) {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("task boom"); });
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+    // The error is consumed: the pool stays usable afterwards.
+    std::atomic<int> counter{0};
+    pool.submit([&counter] { ++counter; });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, BoundedQueueAppliesBackpressure) {
+    // Capacity 1: submissions beyond the running + one queued task must
+    // block until space frees, and every task must still run exactly once.
+    ThreadPool pool(1, 1);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&counter] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            ++counter;
+        });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+    for (const unsigned threads : {0u, 1u, 2u, 4u, 16u}) {
+        std::vector<std::atomic<int>> hits(257);
+        for (auto& h : hits)
+            h = 0;
+        parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; }, threads);
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+}
+
+TEST(ParallelFor, EmptyAndSingleRanges) {
+    int calls = 0;
+    parallel_for(5, 5, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallel_for(7, 8, [&](std::size_t i) {
+        ++calls;
+        EXPECT_EQ(i, 7u);
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesFirstBodyException) {
+    EXPECT_THROW(
+        parallel_for(
+            0, 1000,
+            [](std::size_t i) {
+                if (i == 137)
+                    throw std::invalid_argument("body boom");
+            },
+            4),
+        std::invalid_argument);
+    // The engine stays usable after a failed loop.
+    std::atomic<int> counter{0};
+    parallel_for(0, 64, [&](std::size_t) { ++counter; }, 4);
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ParallelFor, NestedCallsDegradeToSerialWithoutDeadlock) {
+    EXPECT_FALSE(in_parallel_region());
+    std::vector<std::atomic<int>> hits(64 * 16);
+    for (auto& h : hits)
+        h = 0;
+    parallel_for(
+        0, 64,
+        [&](std::size_t outer) {
+            EXPECT_TRUE(in_parallel_region());
+            parallel_for(0, 16, [&](std::size_t inner) {
+                ++hits[outer * 16 + inner];
+            });
+        },
+        4);
+    EXPECT_FALSE(in_parallel_region());
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+}
+
+TEST(ParallelFor, FromDirectPoolTasksDegradesToSerialWithoutDeadlock) {
+    // Tasks submitted straight to a pool (not via parallel_for) that then
+    // call parallel_for must not block waiting for helper tasks no worker
+    // is free to run: inside any pool worker the loop runs serially.
+    ThreadPool pool(2);
+    std::vector<std::atomic<int>> hits(4 * 64);
+    for (auto& h : hits)
+        h = 0;
+    for (int task = 0; task < 4; ++task)
+        pool.submit([&hits, task] {
+            parallel_for(0, 64, [&](std::size_t i) { ++hits[task * 64 + i]; });
+        });
+    pool.wait_idle();
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkIsFine) {
+    std::atomic<int> counter{0};
+    parallel_for(0, 3, [&](std::size_t) { ++counter; }, 64);
+    EXPECT_EQ(counter.load(), 3);
+}
+
+} // namespace
+} // namespace xysig

@@ -1,0 +1,81 @@
+// Parallel Monte-Carlo engine: results must be byte-identical to the
+// serial path for the same seed, whatever the worker count.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mc/monte_carlo.h"
+
+namespace xysig::mc {
+namespace {
+
+TEST(RunMonteCarloParallel, BitIdenticalToSerial) {
+    // The observable consumes a sample-dependent number of draws, so any
+    // stream-sharing bug between workers would shift the outputs.
+    const auto fn = [](Rng& rng) {
+        const int extra = static_cast<int>(rng.uniform_int(0, 7));
+        double acc = rng.normal(0.0, 1.0);
+        for (int i = 0; i < extra; ++i)
+            acc += rng.uniform(-1.0, 1.0);
+        return acc;
+    };
+    const auto serial = run_monte_carlo(500, 20260730, fn);
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        const auto parallel = run_monte_carlo_parallel(500, 20260730, fn, threads);
+        EXPECT_EQ(serial, parallel) << "threads = " << threads;
+    }
+}
+
+TEST(RunMonteCarloParallel, DifferentSeedsStillDiffer) {
+    const auto fn = [](Rng& rng) { return rng.normal(0.0, 1.0); };
+    EXPECT_NE(run_monte_carlo_parallel(64, 1, fn, 4),
+              run_monte_carlo_parallel(64, 2, fn, 4));
+}
+
+TEST(MonteCarloEnvelopeParallel, BitIdenticalToSerial) {
+    const std::vector<double> xs = {0.0, 0.5, 1.0, 1.5, 2.0};
+    const auto curve_fn = [](Rng& rng, const std::vector<double>& grid) {
+        const double gain = rng.normal(1.0, 0.1);
+        const double offset = rng.uniform(-0.5, 0.5);
+        std::vector<double> ys;
+        ys.reserve(grid.size());
+        for (const double x : grid)
+            ys.push_back(gain * x + offset + (x > 1.5 && rng.bernoulli(0.25)
+                                                  ? std::nan("")
+                                                  : 0.0));
+        return ys;
+    };
+    const CurveEnvelope serial = monte_carlo_envelope(200, 42, xs, curve_fn);
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        const CurveEnvelope parallel =
+            monte_carlo_envelope_parallel(200, 42, xs, curve_fn, threads);
+        EXPECT_EQ(serial.xs, parallel.xs);
+        for (std::size_t j = 0; j < xs.size(); ++j) {
+            EXPECT_DOUBLE_EQ(serial.p05[j], parallel.p05[j]);
+            EXPECT_DOUBLE_EQ(serial.p50[j], parallel.p50[j]);
+            EXPECT_DOUBLE_EQ(serial.p95[j], parallel.p95[j]);
+            EXPECT_DOUBLE_EQ(serial.lo[j], parallel.lo[j]);
+            EXPECT_DOUBLE_EQ(serial.hi[j], parallel.hi[j]);
+        }
+    }
+}
+
+TEST(MonteCarloEnvelopeParallel, RepeatedRunsAreStable) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0};
+    const auto curve_fn = [](Rng& rng, const std::vector<double>& grid) {
+        std::vector<double> ys;
+        for (const double x : grid)
+            ys.push_back(x * rng.normal(1.0, 0.2));
+        return ys;
+    };
+    const auto a = monte_carlo_envelope_parallel(100, 7, xs, curve_fn, 4);
+    const auto b = monte_carlo_envelope_parallel(100, 7, xs, curve_fn, 4);
+    EXPECT_EQ(a.p50, b.p50);
+    EXPECT_EQ(a.lo, b.lo);
+    EXPECT_EQ(a.hi, b.hi);
+}
+
+} // namespace
+} // namespace xysig::mc
