@@ -1,0 +1,374 @@
+// Per-stage throughput of the compiled signature kernels against the
+// virtual baseline: stimulus sampling (tone-table kernel vs per-sample
+// Waveform::value), zoning (CompiledMonitorBank::codes_into vs
+// MonitorBank::code), the fused zoning -> run-length-event path, and the
+// end-to-end NDF evaluation (SignaturePipeline scratch path with
+// compiled_kernels on vs off, serial and at N batch threads).
+//
+// Every comparison is gated on bit identity first — the process exits
+// nonzero if any kernel result diverges from the virtual path — and the
+// numbers are emitted both as a table and as machine-readable JSON
+// (--json=PATH, default bench_kernels.json) so the perf trajectory can
+// accumulate across commits. `--smoke` runs a reduced-size identity check +
+// timing pass and skips the google-benchmark timers (the CI mode).
+//
+// The workload is the paper-style 8-monitor multitone setup: the six
+// Table I MOS comparators plus two straight-line monitors, driven by the
+// two-tone Fig. 1 stimulus through the reference Biquad.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "capture/chronogram.h"
+#include "common/parallel.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/batch_ndf.h"
+#include "core/paper_setup.h"
+#include "kernels/compiled_monitor_bank.h"
+#include "kernels/compiled_waveform.h"
+#include "monitor/table1.h"
+
+namespace {
+
+using namespace xysig;
+
+/// Table I bank + two linear monitors = the 8-monitor benchmark bank.
+monitor::MonitorBank make_bench_bank() {
+    monitor::MonitorBank bank = monitor::build_table1_bank();
+    bank.add(std::make_unique<monitor::LinearBoundary>(1.0, 1.0, -1.1));
+    bank.add(std::make_unique<monitor::LinearBoundary>(-1.0, 1.0, -0.1));
+    return bank;
+}
+
+double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/// Items/second of fn (which processes items_per_call items), repeated
+/// until min_seconds of wall clock.
+template <typename F>
+double rate_of(F&& fn, double items_per_call, double min_seconds) {
+    fn(); // warm-up (also populates any lazily sized buffers)
+    int reps = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+        fn();
+        ++reps;
+        elapsed = seconds_since(t0);
+    } while (elapsed < min_seconds);
+    return items_per_call * static_cast<double>(reps) / elapsed;
+}
+
+struct StageResult {
+    std::string name;
+    std::string unit;
+    unsigned threads;
+    double virtual_rate;
+    double compiled_rate;
+    bool identical;
+
+    [[nodiscard]] double speedup() const { return compiled_rate / virtual_rate; }
+};
+
+bool events_equal(const std::vector<capture::CodeEvent>& a,
+                  const std::vector<capture::CodeEvent>& b) {
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].t != b[i].t || a[i].code != b[i].code)
+            return false;
+    return true;
+}
+
+void write_json(const std::string& path, bool smoke, std::size_t samples,
+                std::size_t universe, const monitor::MonitorBank& bank,
+                const kernels::CompiledMonitorBank& compiled,
+                const std::vector<StageResult>& stages, bool all_identical) {
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "bench_kernels: cannot write " << path << "\n";
+        return;
+    }
+    out << "{\n";
+    out << "  \"bench\": \"bench_kernels\",\n";
+    out << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
+    out << "  \"setup\": {\n";
+    out << "    \"monitors\": " << bank.size() << ",\n";
+    out << "    \"compiled_monitors\": " << compiled.compiled_count() << ",\n";
+    out << "    \"fallback_monitors\": " << compiled.fallback_count() << ",\n";
+    out << "    \"samples_per_period\": " << samples << ",\n";
+    out << "    \"universe_cuts\": " << universe << "\n";
+    out << "  },\n";
+    out << "  \"stages\": [\n";
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        const StageResult& s = stages[i];
+        out << "    {\"name\": \"" << s.name << "\", \"unit\": \"" << s.unit
+            << "\", \"threads\": " << s.threads << ", \"virtual\": "
+            << format_double(s.virtual_rate, 4) << ", \"compiled\": "
+            << format_double(s.compiled_rate, 4) << ", \"speedup\": "
+            << format_double(s.speedup(), 3) << ", \"bit_identical\": "
+            << (s.identical ? "true" : "false") << "}"
+            << (i + 1 < stages.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"bit_identical\": " << (all_identical ? "true" : "false") << "\n";
+    out << "}\n";
+    std::cout << "JSON written to " << path << "\n";
+}
+
+[[nodiscard]] bool run_report(std::ostream& out, bool smoke,
+                              const std::string& json_path) {
+    const std::size_t samples = smoke ? 2048 : 8192;
+    const std::size_t universe_size = smoke ? 12 : 48;
+    const double min_seconds = smoke ? 0.05 : 0.5;
+
+    out << "=== [kernels] compiled vs virtual hot path, "
+        << (smoke ? "smoke" : "full") << " mode ===\n";
+
+    const monitor::MonitorBank bank = make_bench_bank();
+    const auto compiled_bank = kernels::CompiledMonitorBank::compile(bank);
+    const MultitoneWaveform stimulus = core::paper_stimulus();
+    out << "bank: " << bank.size() << " monitors ("
+        << compiled_bank.compiled_count() << " compiled, "
+        << compiled_bank.fallback_count() << " fallback), stimulus: "
+        << stimulus.tones().size() << " tones, " << samples
+        << " samples/period, " << universe_size << " CUTs\n";
+
+    std::vector<StageResult> stages;
+
+    // --- Stage 1: stimulus sampling ------------------------------------
+    {
+        const double period = stimulus.period();
+        const double dt = period / static_cast<double>(samples);
+        std::vector<double> virt(samples);
+        std::vector<double> kern;
+        const auto cw = kernels::CompiledWaveform::compile(stimulus);
+        const Waveform& w = stimulus; // force the virtual dispatch baseline
+        const double v_rate = rate_of(
+            [&] {
+                for (std::size_t i = 0; i < samples; ++i)
+                    virt[i] = w.value(static_cast<double>(i) * dt);
+                benchmark::DoNotOptimize(virt.data());
+            },
+            static_cast<double>(samples), min_seconds);
+        const double k_rate = rate_of(
+            [&] {
+                cw->sample_into(0.0, period, samples, kern);
+                benchmark::DoNotOptimize(kern.data());
+            },
+            static_cast<double>(samples), min_seconds);
+        stages.push_back({"sampling", "samples/s", 1, v_rate, k_rate,
+                          virt == kern});
+    }
+
+    // --- Trace shared by the zoning / encode stages --------------------
+    const filter::BehaviouralCut golden_cut(core::paper_biquad());
+    std::vector<double> xs;
+    std::vector<double> ys;
+    double trace_dt = 0.0;
+    golden_cut.respond_into(stimulus, samples, xs, ys, trace_dt);
+
+    // --- Stage 2: zoning (per-sample code) ------------------------------
+    {
+        std::vector<unsigned> virt(samples);
+        std::vector<unsigned> kern;
+        const double v_rate = rate_of(
+            [&] {
+                for (std::size_t i = 0; i < samples; ++i)
+                    virt[i] = bank.code(xs[i], ys[i]);
+                benchmark::DoNotOptimize(virt.data());
+            },
+            static_cast<double>(samples), min_seconds);
+        const double k_rate = rate_of(
+            [&] {
+                compiled_bank.codes_into(xs, ys, kern);
+                benchmark::DoNotOptimize(kern.data());
+            },
+            static_cast<double>(samples), min_seconds);
+        stages.push_back({"zoning", "samples/s", 1, v_rate, k_rate,
+                          virt == kern});
+    }
+
+    // --- Stage 3: fused zoning + run-length events ----------------------
+    {
+        std::vector<capture::CodeEvent> virt;
+        std::vector<capture::CodeEvent> kern;
+        std::vector<unsigned> codes;
+        const double v_rate = rate_of(
+            [&] {
+                capture::Chronogram::encode_events(xs, ys, trace_dt, bank, virt);
+                benchmark::DoNotOptimize(virt.data());
+            },
+            static_cast<double>(samples), min_seconds);
+        const double k_rate = rate_of(
+            [&] {
+                compiled_bank.codes_into(xs, ys, codes);
+                capture::Chronogram::encode_codes(codes, trace_dt, kern);
+                benchmark::DoNotOptimize(kern.data());
+            },
+            static_cast<double>(samples), min_seconds);
+        stages.push_back({"zoning+events", "samples/s", 1, v_rate, k_rate,
+                          events_equal(virt, kern)});
+    }
+
+    // --- Stage 4: fused end-to-end NDF (serial, then N threads) ---------
+    {
+        core::PipelineOptions virt_opts;
+        virt_opts.samples_per_period = samples;
+        virt_opts.compiled_kernels = false;
+        core::PipelineOptions kern_opts = virt_opts;
+        kern_opts.compiled_kernels = true;
+        core::SignaturePipeline virt_pipe(make_bench_bank(), stimulus, virt_opts);
+        core::SignaturePipeline kern_pipe(make_bench_bank(), stimulus, kern_opts);
+        virt_pipe.set_golden(golden_cut);
+        kern_pipe.set_golden(golden_cut);
+
+        std::vector<filter::BehaviouralCut> universe;
+        universe.reserve(universe_size);
+        for (std::size_t i = 0; i < universe_size; ++i) {
+            const double dev =
+                0.2 * (static_cast<double>(i) - universe_size / 2.0) /
+                (universe_size / 2.0);
+            universe.emplace_back(core::paper_biquad().with_f0_shift(dev));
+        }
+        std::vector<const filter::Cut*> raw;
+        for (const auto& c : universe)
+            raw.push_back(&c);
+
+        std::vector<double> ndf_virt(raw.size());
+        std::vector<double> ndf_kern(raw.size());
+        const double v_rate = rate_of(
+            [&] {
+                core::NdfScratch scratch;
+                for (std::size_t i = 0; i < raw.size(); ++i)
+                    ndf_virt[i] = virt_pipe.ndf_of(*raw[i], scratch);
+            },
+            static_cast<double>(universe_size), min_seconds);
+        const double k_rate = rate_of(
+            [&] {
+                core::NdfScratch scratch;
+                for (std::size_t i = 0; i < raw.size(); ++i)
+                    ndf_kern[i] = kern_pipe.ndf_of(*raw[i], scratch);
+            },
+            static_cast<double>(universe_size), min_seconds);
+        stages.push_back({"fused ndf", "cuts/s", 1, v_rate, k_rate,
+                          ndf_virt == ndf_kern});
+
+        // Batch engine at N threads on top of the compiled kernels: thread
+        // scaling multiplies the single-core kernel win.
+        const unsigned n_threads = default_thread_count();
+        const core::BatchNdfEvaluator batch_virt(virt_pipe, {.threads = n_threads});
+        const core::BatchNdfEvaluator batch_kern(kern_pipe, {.threads = n_threads});
+        std::vector<double> batch_v;
+        std::vector<double> batch_k;
+        const double bv_rate = rate_of(
+            [&] { batch_v = batch_virt.evaluate(raw); },
+            static_cast<double>(universe_size), min_seconds);
+        const double bk_rate = rate_of(
+            [&] { batch_k = batch_kern.evaluate(raw); },
+            static_cast<double>(universe_size), min_seconds);
+        stages.push_back({"fused ndf", "cuts/s", n_threads, bv_rate, bk_rate,
+                          batch_v == ndf_virt && batch_k == ndf_virt});
+    }
+
+    bool all_identical = true;
+    TextTable t({"stage", "threads", "virtual", "compiled", "unit", "speedup",
+                 "bit-identical"});
+    for (const StageResult& s : stages) {
+        all_identical = all_identical && s.identical;
+        t.add_row({s.name, std::to_string(s.threads),
+                   format_double(s.virtual_rate, 4),
+                   format_double(s.compiled_rate, 4), s.unit,
+                   format_double(s.speedup(), 2),
+                   s.identical ? "yes" : "NO (BUG)"});
+    }
+    t.print(out);
+    if (!all_identical)
+        out << "ERROR: a compiled kernel diverged from the virtual path\n";
+
+    write_json(json_path, smoke, samples, universe_size, bank, compiled_bank,
+               stages, all_identical);
+    return all_identical;
+}
+
+// --- google-benchmark timers (full mode only) ---------------------------
+
+void BM_ZoningVirtual(benchmark::State& state) {
+    const monitor::MonitorBank bank = make_bench_bank();
+    std::vector<double> xs;
+    std::vector<double> ys;
+    double dt = 0.0;
+    filter::BehaviouralCut(core::paper_biquad())
+        .respond_into(core::paper_stimulus(), 4096, xs, ys, dt);
+    std::vector<unsigned> codes(xs.size());
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            codes[i] = bank.code(xs[i], ys[i]);
+        benchmark::DoNotOptimize(codes.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(xs.size()));
+}
+BENCHMARK(BM_ZoningVirtual)->Unit(benchmark::kMillisecond);
+
+void BM_ZoningCompiled(benchmark::State& state) {
+    const auto compiled = kernels::CompiledMonitorBank::compile(make_bench_bank());
+    std::vector<double> xs;
+    std::vector<double> ys;
+    double dt = 0.0;
+    filter::BehaviouralCut(core::paper_biquad())
+        .respond_into(core::paper_stimulus(), 4096, xs, ys, dt);
+    std::vector<unsigned> codes;
+    for (auto _ : state) {
+        compiled.codes_into(xs, ys, codes);
+        benchmark::DoNotOptimize(codes.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(xs.size()));
+}
+BENCHMARK(BM_ZoningCompiled)->Unit(benchmark::kMillisecond);
+
+void BM_FusedNdf(benchmark::State& state) {
+    core::PipelineOptions opts;
+    opts.samples_per_period = 4096;
+    opts.compiled_kernels = state.range(0) != 0;
+    core::SignaturePipeline pipe(make_bench_bank(), core::paper_stimulus(), opts);
+    pipe.set_golden(filter::BehaviouralCut(core::paper_biquad()));
+    const filter::BehaviouralCut cut(core::paper_biquad().with_f0_shift(0.1));
+    core::NdfScratch scratch;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pipe.ndf_of(cut, scratch));
+}
+BENCHMARK(BM_FusedNdf)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::string json_path = "bench_kernels.json";
+    std::vector<char*> bench_args{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke")
+            smoke = true;
+        else if (arg.rfind("--json=", 0) == 0)
+            json_path = arg.substr(7);
+        else
+            bench_args.push_back(argv[i]);
+    }
+    const bool identical = run_report(std::cout, smoke, json_path);
+    if (!smoke) {
+        int bench_argc = static_cast<int>(bench_args.size());
+        benchmark::Initialize(&bench_argc, bench_args.data());
+        benchmark::RunSpecifiedBenchmarks();
+    }
+    return identical ? 0 : 1;
+}

@@ -66,4 +66,17 @@ void Chronogram::encode_events(std::span<const double> xs,
     }
 }
 
+void Chronogram::encode_codes(std::span<const unsigned> codes, double dt,
+                              std::vector<CodeEvent>& events) {
+    events.clear();
+    unsigned prev = 0;
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+        const unsigned code = codes[i];
+        if (i == 0 || code != prev) {
+            events.push_back({static_cast<double>(i) * dt, code});
+            prev = code;
+        }
+    }
+}
+
 } // namespace xysig::capture

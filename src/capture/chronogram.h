@@ -55,6 +55,14 @@ public:
                               const monitor::MonitorBank& bank,
                               std::vector<CodeEvent>& events);
 
+    /// The run-length-compression step alone, over a precomputed per-sample
+    /// code buffer (as produced by kernels::CompiledMonitorBank::codes_into).
+    /// Together those two calls are the fused sampling -> zoning -> event
+    /// path of the compiled kernels; the events are bit-identical to
+    /// encode_events over the same trace.
+    static void encode_codes(std::span<const unsigned> codes, double dt,
+                             std::vector<CodeEvent>& events);
+
 private:
     double period_;
     unsigned code_bits_;

@@ -10,8 +10,9 @@ namespace xysig::core {
 SignaturePipeline::SignaturePipeline(monitor::MonitorBank bank,
                                      MultitoneWaveform stimulus,
                                      PipelineOptions options)
-    : bank_(std::move(bank)), stimulus_(std::move(stimulus)),
-      options_(options) {
+    : bank_(std::move(bank)),
+      compiled_bank_(kernels::CompiledMonitorBank::compile(bank_)),
+      stimulus_(std::move(stimulus)), options_(options) {
     XYSIG_EXPECTS(bank_.size() >= 1);
     XYSIG_EXPECTS(options_.samples_per_period >= 64);
     XYSIG_EXPECTS(options_.noise_sigma >= 0.0);
@@ -67,8 +68,16 @@ double SignaturePipeline::ndf_of(const filter::Cut& cut, NdfScratch& scratch,
         for (double& v : scratch.ys_)
             v += noise_rng->normal(0.0, options_.noise_sigma);
     }
-    capture::Chronogram::encode_events(scratch.xs_, scratch.ys_, dt, bank_,
-                                       scratch.events_);
+    if (options_.compiled_kernels) {
+        // Fused zoning -> run-length path: one devirtualised monitor pass
+        // per bit-plane, then RLE over the code buffer. Bit-identical to
+        // encode_events (tests/kernels pin this).
+        compiled_bank_.codes_into(scratch.xs_, scratch.ys_, scratch.codes_);
+        capture::Chronogram::encode_codes(scratch.codes_, dt, scratch.events_);
+    } else {
+        capture::Chronogram::encode_events(scratch.xs_, scratch.ys_, dt, bank_,
+                                           scratch.events_);
+    }
     const double period = dt * static_cast<double>(scratch.xs_.size());
     capture::Chronogram ideal(period, static_cast<unsigned>(bank_.size()),
                               scratch.events_);

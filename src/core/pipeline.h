@@ -12,6 +12,7 @@
 #include "capture/capture_unit.h"
 #include "core/ndf.h"
 #include "filter/cut.h"
+#include "kernels/compiled_monitor_bank.h"
 #include "monitor/monitor_bank.h"
 
 namespace xysig::core {
@@ -22,6 +23,14 @@ struct PipelineOptions {
     double noise_sigma = 0.0;              ///< white noise on x and y (V)
     bool quantise = false;                 ///< run through the Fig. 5 capture
     capture::CaptureOptions capture{};     ///< used when quantise is true
+    /// Route the scratch NDF path through the compiled zoning/encode
+    /// kernels (bit-identical to the virtual path; off is the reference
+    /// baseline bench_kernels measures against). Scope: this flag selects
+    /// zoning + event encoding only — stimulus sampling always uses the
+    /// waveform kernel inside SampledSignal::sample_waveform_into, whose
+    /// own bit identity is gated separately (bench_kernels stage 1 and
+    /// tests/kernels compare it against the per-sample value() loop).
+    bool compiled_kernels = true;
 };
 
 /// Reusable workspace for repeated NDF evaluations: the trace sample
@@ -37,6 +46,7 @@ private:
     friend class SignaturePipeline;
     std::vector<double> xs_;
     std::vector<double> ys_;
+    std::vector<unsigned> codes_; ///< per-sample zone codes (compiled path)
     std::vector<capture::CodeEvent> events_;
 };
 
@@ -78,8 +88,14 @@ public:
     [[nodiscard]] double ndf_of(const filter::Cut& cut, NdfScratch& scratch,
                                 Rng* noise_rng = nullptr) const;
 
+    /// The lowered form of bank() the compiled path zones with.
+    [[nodiscard]] const kernels::CompiledMonitorBank& compiled_bank() const noexcept {
+        return compiled_bank_;
+    }
+
 private:
     monitor::MonitorBank bank_;
+    kernels::CompiledMonitorBank compiled_bank_;
     MultitoneWaveform stimulus_;
     PipelineOptions options_;
     std::optional<capture::Chronogram> golden_;

@@ -1,0 +1,220 @@
+#include "kernels/compiled_monitor_bank.h"
+
+#include "common/contracts.h"
+#include "common/math_util.h"
+#include "monitor/mos_boundary.h"
+
+namespace xysig::kernels {
+
+CompiledMonitorBank CompiledMonitorBank::compile(const monitor::MonitorBank& bank) {
+    CompiledMonitorBank out;
+    const std::size_t n = bank.size();
+    out.n_monitors_ = n;
+
+    // Dedup key: the full leg description. Identical legs across monitors
+    // (Table I rows 3-6 share their X and Y input devices) evaluate once
+    // per sample; reusing the value is bit-identical because the drain
+    // current is a pure function of (params, vgs, vds).
+    const auto intern_leg = [&out](const MosLeg& leg) -> std::uint32_t {
+        for (std::size_t i = 0; i < out.legs_.size(); ++i) {
+            const MosLeg& have = out.legs_[i];
+            if (have.x_input == leg.x_input && have.kind == leg.kind &&
+                have.vds == leg.vds && have.params == leg.params)
+                return static_cast<std::uint32_t>(i);
+        }
+        out.legs_.push_back(leg);
+        return static_cast<std::uint32_t>(out.legs_.size() - 1);
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const monitor::Boundary& b = bank.monitor(i);
+        // Monitor 0 is the MSB (paper Fig. 6 order), as in MonitorBank::code.
+        const unsigned mask = 1u << (n - 1 - i);
+
+        if (const auto* lin = dynamic_cast<const monitor::LinearBoundary*>(&b)) {
+            out.linear_.push_back({mask, lin->a(), lin->b(), lin->c()});
+            continue;
+        }
+        if (const auto* mos = dynamic_cast<const monitor::MosCurrentBoundary*>(&b)) {
+            const monitor::MonitorConfig& cfg = mos->config();
+            MosMonitor m;
+            m.mask = mask;
+            m.offset_current = cfg.offset_current;
+            m.orientation = mos->orientation();
+            for (std::size_t leg_i = 0; leg_i < 4; ++leg_i) {
+                const monitor::MonitorLeg& l = cfg.legs[leg_i];
+                // Same per-leg merge MonitorConfig::leg_current performs on
+                // every call, hoisted to compile time.
+                spice::MosParams p = cfg.device;
+                p.w = l.width;
+                p.vt0 = cfg.device.vt0 + l.vt0_delta;
+                p.kp = cfg.device.kp * l.kp_scale;
+
+                MosTerm& term = m.terms[leg_i];
+                if (l.input == monitor::MonitorInput::dc) {
+                    term.is_constant = true;
+                    term.constant = spice::mos_id(p, l.dc_level, cfg.vds_eval);
+                    continue;
+                }
+                MosLeg leg;
+                leg.x_input = l.input == monitor::MonitorInput::x_axis;
+                leg.vds = cfg.vds_eval;
+                leg.params = p;
+                if (p.type == spice::MosType::nmos && cfg.vds_eval > 0.0) {
+                    // Hoist the per-leg constants of the id-only model,
+                    // using exactly the expressions (and association) the
+                    // model evaluates per call, so the flat form stays
+                    // bit-identical.
+                    leg.vt0 = p.vt0;
+                    leg.clm = 1.0 + p.lambda * cfg.vds_eval;
+                    if (p.model == spice::MosModel::ekv) {
+                        leg.kind = LegKind::ekv;
+                        leg.n_slope = p.n_slope;
+                        leg.ispec = 2.0 * p.n_slope * p.kp * p.aspect_ratio() *
+                                    kThermalVoltage300K * kThermalVoltage300K;
+                    } else {
+                        leg.kind = LegKind::level1;
+                        leg.beta = p.kp * p.aspect_ratio();
+                        leg.half_beta = 0.5 * leg.beta;
+                        leg.half_vds2 = 0.5 * cfg.vds_eval * cfg.vds_eval;
+                    }
+                } else {
+                    leg.kind = LegKind::generic;
+                }
+                term.is_constant = false;
+                term.leg = intern_leg(leg);
+            }
+            out.mos_.push_back(m);
+            continue;
+        }
+        out.fallback_.push_back({mask, b.clone()});
+    }
+    return out;
+}
+
+CompiledMonitorBank::CompiledMonitorBank(const CompiledMonitorBank& other)
+    : n_monitors_(other.n_monitors_), linear_(other.linear_), legs_(other.legs_),
+      mos_(other.mos_) {
+    fallback_.reserve(other.fallback_.size());
+    for (const FallbackMonitor& f : other.fallback_)
+        fallback_.push_back({f.mask, f.boundary->clone()});
+}
+
+CompiledMonitorBank& CompiledMonitorBank::operator=(const CompiledMonitorBank& other) {
+    if (this != &other) {
+        CompiledMonitorBank tmp(other);
+        *this = std::move(tmp);
+    }
+    return *this;
+}
+
+double CompiledMonitorBank::leg_value(const MosLeg& leg, double x, double y) {
+    const double vgs = leg.x_input ? x : y;
+    switch (leg.kind) {
+    case LegKind::ekv: {
+        // Same expressions (and rounding) as the id-only EKV model, with
+        // the vp normalisation constants already in registers. SYNC
+        // CONTRACT: third copy of the drain-current arithmetic — see the
+        // note above ekv_id_nmos in spice/mosfet.cpp.
+        const double vp = (vgs - leg.vt0) / leg.n_slope;
+        const double sf = softplus(0.5 * (vp / kThermalVoltage300K));
+        const double sr =
+            softplus(0.5 * ((vp - leg.vds) / kThermalVoltage300K));
+        return (leg.ispec * (sf * sf - sr * sr)) * leg.clm;
+    }
+    case LegKind::level1: {
+        const double vov = vgs - leg.vt0;
+        if (vov <= 0.0)
+            return 0.0;
+        if (leg.vds < vov)
+            return leg.beta * (vov * leg.vds - leg.half_vds2) * leg.clm;
+        return ((leg.half_beta * vov) * vov) * leg.clm;
+    }
+    case LegKind::generic:
+        return spice::mos_id(leg.params, vgs, leg.vds);
+    }
+    return 0.0; // unreachable
+}
+
+double CompiledMonitorBank::mos_h(const MosMonitor& m, const double* leg_values) {
+    const auto term = [&](const MosTerm& t) {
+        return t.is_constant ? t.constant : leg_values[t.leg];
+    };
+    // Same association as MosCurrentBoundary::current_difference:
+    // (((I1 + I2) - I3) - I4) + offset, then the orientation sign.
+    const double diff = term(m.terms[0]) + term(m.terms[1]) - term(m.terms[2]) -
+                        term(m.terms[3]) + m.offset_current;
+    return m.orientation * diff;
+}
+
+void CompiledMonitorBank::codes_into(std::span<const double> xs,
+                                     std::span<const double> ys,
+                                     std::vector<unsigned>& codes) const {
+    XYSIG_EXPECTS(xs.size() == ys.size());
+    XYSIG_EXPECTS(n_monitors_ > 0);
+    const std::size_t n = xs.size();
+    codes.assign(n, 0u);
+    unsigned* const out = codes.data();
+    const double* const px = xs.data();
+    const double* const py = ys.data();
+
+    for (const LinearMonitor& m : linear_) {
+        const double a = m.a;
+        const double b = m.b;
+        const double c = m.c;
+        const unsigned mask = m.mask;
+#pragma omp simd
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] |= (a * px[i] + b * py[i] + c > 0.0) ? mask : 0u;
+    }
+
+    if (!mos_.empty()) {
+        // One fused pass for the whole MOS sub-bank: evaluate each unique
+        // leg current once, then run every comparator off the shared
+        // values.
+        double leg_values_buf[16];
+        std::vector<double> leg_values_heap;
+        double* leg_values = leg_values_buf;
+        if (legs_.size() > 16) {
+            leg_values_heap.resize(legs_.size());
+            leg_values = leg_values_heap.data();
+        }
+        const std::size_t n_legs = legs_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            const double x = px[i];
+            const double y = py[i];
+            for (std::size_t u = 0; u < n_legs; ++u)
+                leg_values[u] = leg_value(legs_[u], x, y);
+            unsigned bits = 0;
+            for (const MosMonitor& m : mos_)
+                bits |= (mos_h(m, leg_values) > 0.0) ? m.mask : 0u;
+            out[i] |= bits;
+        }
+    }
+
+    for (const FallbackMonitor& f : fallback_) {
+        const monitor::Boundary& b = *f.boundary;
+        const unsigned mask = f.mask;
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] |= b.side(px[i], py[i]) ? mask : 0u;
+    }
+}
+
+unsigned CompiledMonitorBank::code(double x, double y) const {
+    XYSIG_EXPECTS(n_monitors_ > 0);
+    unsigned c = 0;
+    for (const LinearMonitor& m : linear_)
+        c |= (m.a * x + m.b * y + m.c > 0.0) ? m.mask : 0u;
+    if (!mos_.empty()) {
+        std::vector<double> leg_values(legs_.size());
+        for (std::size_t u = 0; u < legs_.size(); ++u)
+            leg_values[u] = leg_value(legs_[u], x, y);
+        for (const MosMonitor& m : mos_)
+            c |= (mos_h(m, leg_values.data()) > 0.0) ? m.mask : 0u;
+    }
+    for (const FallbackMonitor& f : fallback_)
+        c |= f.boundary->side(x, y) ? f.mask : 0u;
+    return c;
+}
+
+} // namespace xysig::kernels

@@ -1,0 +1,139 @@
+#ifndef XYSIG_KERNELS_COMPILED_MONITOR_BANK_H
+#define XYSIG_KERNELS_COMPILED_MONITOR_BANK_H
+
+/// \file compiled_monitor_bank.h
+/// Devirtualised zoning kernel.
+///
+/// MonitorBank::code pays one virtual Boundary::h per monitor per sample;
+/// the MOS monitors additionally merge a MosParams struct per leg per call
+/// and evaluate gm/gds they never use. CompiledMonitorBank lowers each
+/// boundary once, at construction:
+///  * LinearBoundary  -> the (a, b, c) coefficient triple,
+///  * MosCurrentBoundary -> four flat terms; DC-driven legs are
+///    constant-folded to their precomputed drain current, X/Y-driven legs
+///    lower to the id-only drain-current model with per-leg constants
+///    (ispec, clm, beta, ...) hoisted out of the sample loop, and legs that
+///    are identical across monitors — the paper's Table I shares its X and
+///    Y input devices between rows — are deduplicated so each unique leg
+///    current is evaluated once per sample for the whole bank;
+///  * anything else   -> a cloned fallback boundary kept on the virtual path.
+///
+/// codes_into walks the trace once per linear/fallback monitor (bit-plane
+/// OR) and once for all MOS monitors together (unique legs, then the
+/// per-monitor current comparisons), so the hot loop is branch-light and
+/// free of virtual dispatch for every compilable monitor. Codes are
+/// bit-identical to MonitorBank::code at every sample, whatever the mix of
+/// compiled and fallback monitors.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "monitor/monitor_bank.h"
+#include "spice/mosfet.h"
+
+namespace xysig::kernels {
+
+class CompiledMonitorBank {
+public:
+    CompiledMonitorBank() = default;
+
+    /// Lowers every monitor of the bank. Never fails: non-compilable
+    /// boundaries are cloned into the fallback list, so the compiled bank is
+    /// self-contained and does not reference `bank` afterwards.
+    [[nodiscard]] static CompiledMonitorBank compile(const monitor::MonitorBank& bank);
+
+    CompiledMonitorBank(const CompiledMonitorBank& other);
+    CompiledMonitorBank& operator=(const CompiledMonitorBank& other);
+    CompiledMonitorBank(CompiledMonitorBank&&) noexcept = default;
+    CompiledMonitorBank& operator=(CompiledMonitorBank&&) noexcept = default;
+
+    /// Total monitors / how many were lowered / how many stayed virtual.
+    [[nodiscard]] std::size_t size() const noexcept { return n_monitors_; }
+    [[nodiscard]] std::size_t fallback_count() const noexcept {
+        return fallback_.size();
+    }
+    [[nodiscard]] std::size_t compiled_count() const noexcept {
+        return n_monitors_ - fallback_.size();
+    }
+    /// Deduplicated dynamic MOS legs evaluated per sample (tests pin the
+    /// Table I sharing: 12 legs collapse to 6).
+    [[nodiscard]] std::size_t unique_leg_count() const noexcept {
+        return legs_.size();
+    }
+
+    /// Zone code of every (x, y) sample, one monitor pass at a time; codes
+    /// is resized to xs.size(). Bit-identical to calling MonitorBank::code
+    /// per sample. The bank must be non-empty.
+    void codes_into(std::span<const double> xs, std::span<const double> ys,
+                    std::vector<unsigned>& codes) const;
+
+    /// Single-point code (spot checks / tests); same bits as codes_into.
+    [[nodiscard]] unsigned code(double x, double y) const;
+
+private:
+    /// Which evaluator a deduplicated dynamic leg lowers to. The common
+    /// paper case — nMOS with the positive drain bias the boundary
+    /// constructor enforces — inlines the id-only model with its per-leg
+    /// constants hoisted; anything else (pMOS, ...) calls spice::mos_id,
+    /// which is still bit-identical, just not flat.
+    enum class LegKind { ekv, level1, generic };
+
+    struct MosLeg {
+        bool x_input = true; ///< gate driven by x (else y)
+        LegKind kind = LegKind::generic;
+        double vds = 0.0; ///< drain bias shared by the flat evaluators
+        // EKV coefficients: id = (ispec * (sf^2 - sr^2)) * clm.
+        double vt0 = 0.0;
+        double n_slope = 1.0;
+        double ispec = 0.0;
+        double clm = 1.0;
+        // Level-1 extras: beta, 0.5*beta and (0.5*vds)*vds, hoisted with
+        // the same association the model uses.
+        double beta = 0.0;
+        double half_beta = 0.0;
+        double half_vds2 = 0.0;
+        spice::MosParams params{}; ///< per-leg merged device (generic kind)
+    };
+
+    /// One of the four summed currents of a comparator: either a folded DC
+    /// constant or a reference into the unique-leg table.
+    struct MosTerm {
+        bool is_constant = true;
+        double constant = 0.0;
+        std::uint32_t leg = 0;
+    };
+
+    struct LinearMonitor {
+        unsigned mask; ///< bit of this monitor in the zone code
+        double a, b, c;
+    };
+
+    struct MosMonitor {
+        unsigned mask;
+        std::array<MosTerm, 4> terms;
+        double offset_current;
+        double orientation;
+    };
+
+    struct FallbackMonitor {
+        unsigned mask;
+        std::unique_ptr<monitor::Boundary> boundary;
+    };
+
+    [[nodiscard]] static double leg_value(const MosLeg& leg, double x, double y);
+    [[nodiscard]] static double mos_h(const MosMonitor& m,
+                                      const double* leg_values);
+
+    std::size_t n_monitors_ = 0;
+    std::vector<LinearMonitor> linear_;
+    std::vector<MosLeg> legs_; ///< deduplicated dynamic legs
+    std::vector<MosMonitor> mos_;
+    std::vector<FallbackMonitor> fallback_;
+};
+
+} // namespace xysig::kernels
+
+#endif // XYSIG_KERNELS_COMPILED_MONITOR_BANK_H

@@ -5,6 +5,7 @@
 
 #include "common/contracts.h"
 #include "common/rng.h"
+#include "kernels/compiled_waveform.h"
 
 namespace xysig {
 
@@ -28,6 +29,16 @@ void SampledSignal::sample_waveform_into(const Waveform& w, double t0,
                                          std::vector<double>& buffer) {
     XYSIG_EXPECTS(duration > 0.0);
     XYSIG_EXPECTS(n >= 2);
+    // Closed-form waveforms sample through the flattened tone-table kernel
+    // (fused branch-free pass, no per-sample virtual dispatch); the values
+    // are bit-identical to the loop below, which remains the path for
+    // PWL/pulse/custom waveforms. The per-thread scratch keeps the batch
+    // engine's two recompilations per CUT evaluation allocation-free.
+    thread_local kernels::CompiledWaveform compiled;
+    if (kernels::CompiledWaveform::compile_into(w, compiled)) {
+        compiled.sample_into(t0, duration, n, buffer);
+        return;
+    }
     const double dt = duration / static_cast<double>(n);
     buffer.resize(n);
     for (std::size_t i = 0; i < n; ++i)
@@ -76,21 +87,31 @@ double SampledSignal::max() const {
 
 SampledSignal SampledSignal::slice_time(double t_begin, double t_end) const {
     XYSIG_EXPECTS(t_end > t_begin);
-    std::vector<double> out;
-    double new_start = t_begin;
-    bool first = true;
-    for (std::size_t i = 0; i < samples_.size(); ++i) {
-        const double t = time_at(i);
-        if (t >= t_begin && t < t_end) {
-            if (first) {
-                new_start = t;
-                first = false;
-            }
-            out.push_back(samples_[i]);
-        }
-    }
-    XYSIG_ENSURES(!out.empty());
-    return SampledSignal(new_start, dt_, std::move(out));
+    const std::size_t n = samples_.size();
+    const auto time_of = [this](std::size_t i) {
+        return start_time_ + static_cast<double>(i) * dt_;
+    };
+    // The kept range is contiguous (times are monotone), so compute the
+    // index bounds arithmetically, then nudge by at most a step or two so
+    // the boundary samples satisfy exactly the same floating-point
+    // predicate (t >= t_begin && t < t_end) the previous full scan applied.
+    const auto first_index_at_or_after = [&](double t_limit, std::size_t lo) {
+        const double pos = std::ceil((t_limit - start_time_) / dt_);
+        std::size_t i = lo;
+        if (pos > static_cast<double>(lo))
+            i = pos >= static_cast<double>(n) ? n : static_cast<std::size_t>(pos);
+        while (i > lo && time_of(i - 1) >= t_limit)
+            --i;
+        while (i < n && time_of(i) < t_limit)
+            ++i;
+        return i;
+    };
+    const std::size_t first = first_index_at_or_after(t_begin, 0);
+    const std::size_t end = first_index_at_or_after(t_end, first);
+    XYSIG_ENSURES(end > first);
+    std::vector<double> out(samples_.begin() + static_cast<std::ptrdiff_t>(first),
+                            samples_.begin() + static_cast<std::ptrdiff_t>(end));
+    return SampledSignal(time_of(first), dt_, std::move(out));
 }
 
 void SampledSignal::add_white_noise(Rng& rng, double sigma) {

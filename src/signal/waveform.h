@@ -46,6 +46,8 @@ public:
         return std::make_unique<DcWaveform>(*this);
     }
 
+    [[nodiscard]] double level() const noexcept { return level_; }
+
 private:
     double level_;
 };
@@ -63,6 +65,8 @@ public:
 
     [[nodiscard]] double frequency() const noexcept { return frequency_hz_; }
     [[nodiscard]] double amplitude() const noexcept { return amplitude_; }
+    [[nodiscard]] double offset() const noexcept { return offset_; }
+    [[nodiscard]] double phase() const noexcept { return phase_rad_; }
 
 private:
     double offset_;

@@ -89,6 +89,44 @@ MosEval level1_nmos(const MosParams& p, double vgs, double vds) {
     return e;
 }
 
+/// id-only twin of ekv_nmos: the same expressions in the same order minus
+/// the gm/gds terms, so the result is bit-identical while evaluating one
+/// softplus per ekv_f instead of a softplus + logistic pair.
+///
+/// SYNC CONTRACT: the drain-current arithmetic exists in three places that
+/// must stay bitwise-aligned — ekv_nmos/level1_nmos above, these id-only
+/// twins, and the hoisted-constant form in
+/// kernels::CompiledMonitorBank::leg_value. Any model change must be
+/// replicated with identical association in all three;
+/// tests/kernels/test_compiled_kernels.cpp pins the equality over a dense
+/// (model x type x bias) grid and fails on any drift.
+double ekv_id_nmos(const MosParams& p, double vgs, double vds) {
+    if (vds < 0.0)
+        return -ekv_id_nmos(p, vgs - vds, -vds);
+    const double phi_t = kThermalVoltage300K;
+    const double n = p.n_slope;
+    const double vp = (vgs - p.vt0) / n;
+    const double ispec = 2.0 * n * p.kp * p.aspect_ratio() * phi_t * phi_t;
+    const double sf = softplus(0.5 * (vp / phi_t));
+    const double sr = softplus(0.5 * ((vp - vds) / phi_t));
+    const double id0 = ispec * (sf * sf - sr * sr);
+    return id0 * (1.0 + p.lambda * vds);
+}
+
+/// id-only twin of level1_nmos (same expressions, same order).
+double level1_id_nmos(const MosParams& p, double vgs, double vds) {
+    if (vds < 0.0)
+        return -level1_id_nmos(p, vgs - vds, -vds);
+    const double vov = vgs - p.vt0;
+    const double beta = p.kp * p.aspect_ratio();
+    if (vov <= 0.0)
+        return 0.0;
+    const double clm = 1.0 + p.lambda * vds;
+    if (vds < vov)
+        return beta * (vov * vds - 0.5 * vds * vds) * clm;
+    return 0.5 * beta * vov * vov * clm;
+}
+
 } // namespace
 
 MosEval mos_evaluate(const MosParams& p, double vgs, double vds) {
@@ -108,6 +146,16 @@ MosEval mos_evaluate(const MosParams& p, double vgs, double vds) {
     e.gm = n.gm;
     e.gds = n.gds;
     return e;
+}
+
+double mos_id(const MosParams& p, double vgs, double vds) {
+    XYSIG_EXPECTS(p.w > 0.0 && p.l > 0.0);
+    XYSIG_EXPECTS(p.kp > 0.0 && p.n_slope >= 1.0 && p.lambda >= 0.0);
+
+    const auto id_n = (p.model == MosModel::ekv) ? ekv_id_nmos : level1_id_nmos;
+    if (p.type == MosType::nmos)
+        return id_n(p, vgs, vds);
+    return -id_n(p, -vgs, -vds);
 }
 
 Mosfet::Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source,

@@ -41,6 +41,11 @@ struct MosParams {
     double lambda = 0.1;  ///< channel-length modulation (1/V)
 
     [[nodiscard]] double aspect_ratio() const noexcept { return w / l; }
+
+    /// Field-wise equality (compiler-maintained, so a new parameter can
+    /// never be silently dropped from comparisons — the compiled monitor
+    /// kernels rely on this to deduplicate identical legs).
+    [[nodiscard]] bool operator==(const MosParams&) const noexcept = default;
 };
 
 /// Drain current and small-signal derivatives at one bias point.
@@ -54,6 +59,14 @@ struct MosEval {
 /// the device terminals (for pMOS they are normally negative in conduction).
 /// Works for either sign of vds (source/drain symmetry).
 [[nodiscard]] MosEval mos_evaluate(const MosParams& p, double vgs, double vds);
+
+/// Drain current only, bit-identical to mos_evaluate(p, vgs, vds).id but
+/// skipping the gm/gds arithmetic (one softplus per inversion charge instead
+/// of a softplus + logistic pair in the EKV model). This is the per-sample
+/// primitive of the compiled monitor kernels, where derivatives are never
+/// needed; tests/kernels pin the bitwise equality over both models and both
+/// device types.
+[[nodiscard]] double mos_id(const MosParams& p, double vgs, double vds);
 
 /// Three-terminal MOSFET device (bulk tied to source; the monitor circuit
 /// operates all input devices source-grounded, so body effect is not
