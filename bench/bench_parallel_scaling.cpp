@@ -5,7 +5,6 @@
 // google-benchmark timers. Speedup tracks physical cores: on a single-core
 // CI box the engine degrades gracefully to ~1x, never below.
 
-#include <chrono>
 #include <iostream>
 #include <thread>
 
@@ -13,6 +12,7 @@
 
 #include "common/strings.h"
 #include "common/table.h"
+#include "common/timing.h"
 #include "core/batch_ndf.h"
 #include "core/paper_setup.h"
 #include "mc/monte_carlo.h"
@@ -40,13 +40,6 @@ std::vector<filter::BehaviouralCut> make_universe(int n) {
         cuts.emplace_back(core::paper_biquad().with_f0_shift(dev));
     }
     return cuts;
-}
-
-double seconds_of(const std::function<void()>& fn) {
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    return std::chrono::duration<double>(t1 - t0).count();
 }
 
 // Returns false when any parallel result diverged from the serial one, so

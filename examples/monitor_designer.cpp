@@ -55,9 +55,12 @@ int main() {
     check.print(std::cout);
 
     // 3. Monte-Carlo robustness: spread of the curve's y-intercept at x=0.2.
+    // The parallel engine forks all per-sample RNG streams up front, so the
+    // samples are bit-identical to the serial run_monte_carlo(300, 7, fn)
+    // this example used before, at any worker count.
     const mc::PelgromModel pelgrom;
     const mc::ProcessVariation process;
-    const auto samples = mc::run_monte_carlo(300, 7, [&](Rng& rng) {
+    const auto samples = mc::run_monte_carlo_parallel(300, 7, [&](Rng& rng) {
         const auto perturbed =
             monitor::perturb_monitor(cfg, pelgrom, process, rng);
         const monitor::MosCurrentBoundary b(perturbed);

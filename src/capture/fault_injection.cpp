@@ -3,6 +3,8 @@
 #include <functional>
 
 #include "common/contracts.h"
+#include "common/strings.h"
+#include "spice/elements.h"
 
 namespace xysig::capture {
 
@@ -41,6 +43,69 @@ Chronogram apply_swapped_bits(const Chronogram& ch, unsigned bit_a, unsigned bit
         out |= b << bit_a;
         return out;
     });
+}
+
+// -------------------------------------------------------- circuit-side faults
+
+std::string NetlistFault::description() const {
+    if (kind == Kind::bridging)
+        return "bridge(" + node_a + "," + node_b + "," + format_double(value, 4) +
+               ")";
+    return "open(" + device + ",x" + format_double(value, 4) + ")";
+}
+
+std::vector<NetlistFault> enumerate_bridging_faults(
+    const spice::Netlist& nominal, const FaultUniverseOptions& options) {
+    XYSIG_EXPECTS(options.bridge_resistance > 0.0);
+    std::vector<NetlistFault> faults;
+    const auto n = static_cast<spice::NodeId>(nominal.node_count());
+    for (spice::NodeId a = 1; a < n; ++a) {
+        if (options.bridge_to_ground)
+            faults.push_back({NetlistFault::Kind::bridging,
+                              nominal.node_name(a), nominal.node_name(spice::kGround),
+                              {}, options.bridge_resistance});
+        for (spice::NodeId b = a + 1; b < n; ++b)
+            faults.push_back({NetlistFault::Kind::bridging, nominal.node_name(a),
+                              nominal.node_name(b), {},
+                              options.bridge_resistance});
+    }
+    return faults;
+}
+
+std::vector<NetlistFault> enumerate_open_faults(
+    const spice::Netlist& nominal, const FaultUniverseOptions& options) {
+    XYSIG_EXPECTS(options.open_factor > 1.0);
+    std::vector<NetlistFault> faults;
+    for (const auto& dev : nominal.devices()) {
+        if (dynamic_cast<const spice::Resistor*>(dev.get()) != nullptr ||
+            dynamic_cast<const spice::Capacitor*>(dev.get()) != nullptr)
+            faults.push_back({NetlistFault::Kind::open, {}, {}, dev->name(),
+                              options.open_factor});
+    }
+    return faults;
+}
+
+spice::Netlist apply_fault(const spice::Netlist& nominal,
+                           const NetlistFault& fault) {
+    spice::Netlist nl = nominal.clone();
+    if (fault.kind == NetlistFault::Kind::bridging) {
+        XYSIG_EXPECTS(fault.value > 0.0);
+        nl.add<spice::Resistor>("Rbridge_" + fault.node_a + "_" + fault.node_b,
+                                nl.find_node(fault.node_a),
+                                nl.find_node(fault.node_b), fault.value);
+        return nl;
+    }
+    XYSIG_EXPECTS(fault.value > 1.0);
+    if (auto* r = nl.try_get<spice::Resistor>(fault.device)) {
+        r->set_resistance(r->resistance() * fault.value);
+        return nl;
+    }
+    if (auto* c = nl.try_get<spice::Capacitor>(fault.device)) {
+        c->set_capacitance(c->capacitance() / fault.value);
+        return nl;
+    }
+    throw InvalidInput("apply_fault: open fault target '" + fault.device +
+                       "' is not a Resistor or Capacitor");
 }
 
 } // namespace xysig::capture

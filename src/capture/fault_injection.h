@@ -2,12 +2,22 @@
 #define XYSIG_CAPTURE_FAULT_INJECTION_H
 
 /// \file fault_injection.h
-/// Faults of the test hardware itself (extension beyond the paper): what
-/// happens to the verdict when the monitor bus or the capture unit is
-/// defective? Used by the ablation bench to quantify tester-induced escapes
-/// and overkill.
+/// Fault models on both sides of the tester:
+///  * tester-side faults (stuck / swapped monitor bus lines) applied to a
+///    chronogram — what the verdict does when the test hardware itself is
+///    defective (extension beyond the paper);
+///  * circuit-side catastrophic faults (bridging shorts and opens) applied
+///    to a SPICE netlist — the classic analog fault universe the signature
+///    method is graded against. Universes are enumerated structurally from
+///    the nominal netlist and applied to deep clones, so every faulty
+///    circuit is an independent, re-entrant simulation target for the batch
+///    NDF engine.
+
+#include <string>
+#include <vector>
 
 #include "capture/chronogram.h"
+#include "spice/netlist.h"
 
 namespace xysig::capture {
 
@@ -25,6 +35,54 @@ struct StuckBitFault {
 /// Two monitor lines swapped in the bus wiring (a layout/assembly defect).
 [[nodiscard]] Chronogram apply_swapped_bits(const Chronogram& ch, unsigned bit_a,
                                             unsigned bit_b);
+
+// ------------------------------------------------------ circuit-side faults
+
+/// One catastrophic defect of the circuit under test.
+struct NetlistFault {
+    enum class Kind {
+        bridging, ///< resistive short between two circuit nodes
+        open      ///< broken component: R scaled up / C scaled down by `value`
+    };
+
+    Kind kind = Kind::bridging;
+    std::string node_a; ///< bridging: first bridged node
+    std::string node_b; ///< bridging: second bridged node
+    std::string device; ///< open: name of the faulted Resistor or Capacitor
+    /// Bridge resistance in ohms (bridging) or open severity factor (open:
+    /// the resistance is multiplied / the capacitance divided by it).
+    double value = 0.0;
+
+    /// Stable one-line label ("bridge(bp,lp,100)" / "open(R2,x1e+06)").
+    [[nodiscard]] std::string description() const;
+};
+
+/// Knobs of the structural fault enumeration.
+struct FaultUniverseOptions {
+    double bridge_resistance = 100.0; ///< ohms of every bridging short
+    double open_factor = 1e6;         ///< severity of every open defect
+    /// Also include bridges from each signal node to ground (shorts to the
+    /// substrate); off by default because grounding the driven input node
+    /// mostly measures the source impedance, not the CUT.
+    bool bridge_to_ground = false;
+};
+
+/// Every unordered pair of distinct non-ground nodes as a bridging fault
+/// (plus node-to-ground bridges when enabled). Deterministic order: by node
+/// id, lexicographic (a < b).
+[[nodiscard]] std::vector<NetlistFault> enumerate_bridging_faults(
+    const spice::Netlist& nominal, const FaultUniverseOptions& options = {});
+
+/// Every Resistor and Capacitor as an open fault, in device insertion order.
+[[nodiscard]] std::vector<NetlistFault> enumerate_open_faults(
+    const spice::Netlist& nominal, const FaultUniverseOptions& options = {});
+
+/// Deep-clones the nominal netlist and applies one fault to the clone; the
+/// nominal circuit is never touched. Throws InvalidInput when the fault
+/// references unknown nodes/devices or an open targets an unsupported
+/// device type.
+[[nodiscard]] spice::Netlist apply_fault(const spice::Netlist& nominal,
+                                         const NetlistFault& fault);
 
 } // namespace xysig::capture
 

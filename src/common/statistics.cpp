@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/contracts.h"
 
@@ -63,7 +64,12 @@ double correlation(std::span<const double> xs, std::span<const double> ys) {
         sxx += dx * dx;
         syy += dy * dy;
     }
-    XYSIG_EXPECTS(sxx > 0.0 && syy > 0.0);
+    // A constant series has no direction to correlate against: the
+    // coefficient is undefined, not a contract violation. Sweep drivers hit
+    // this routinely (e.g. an all-zero NDF column), so return quiet NaN and
+    // let the caller decide instead of aborting the whole run.
+    if (sxx <= 0.0 || syy <= 0.0)
+        return std::numeric_limits<double>::quiet_NaN();
     return sxy / std::sqrt(sxx * syy);
 }
 
@@ -80,8 +86,18 @@ LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
         sxx += dx * dx;
         syy += dy * dy;
     }
-    XYSIG_EXPECTS(sxx > 0.0);
     LineFit fit;
+    if (sxx <= 0.0) {
+        // All x equal: the regression of y on x is underdetermined. The
+        // minimiser we return is the horizontal line through the mean —
+        // defined, finite, and it keeps whole sweeps alive when one grid
+        // column degenerates. It explains none of the y variance (r^2 = 0)
+        // unless y is constant too, in which case the fit is exact.
+        fit.slope = 0.0;
+        fit.intercept = my;
+        fit.r_squared = (syy == 0.0) ? 1.0 : 0.0;
+        return fit;
+    }
     fit.slope = sxy / sxx;
     fit.intercept = my - fit.slope * mx;
     fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);

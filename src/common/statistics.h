@@ -27,7 +27,10 @@ namespace xysig {
 [[nodiscard]] double min_value(std::span<const double> xs);
 [[nodiscard]] double max_value(std::span<const double> xs);
 
-/// Pearson correlation of two equal-length, non-degenerate sequences.
+/// Pearson correlation of two equal-length sequences (>= 2 points). When
+/// either series is constant the coefficient is mathematically undefined and
+/// quiet NaN is returned (never throws/aborts on degenerate data — a sweep
+/// with one flat column must keep running).
 [[nodiscard]] double correlation(std::span<const double> xs, std::span<const double> ys);
 
 /// Least-squares straight line y = slope*x + intercept through the points.
@@ -36,6 +39,9 @@ struct LineFit {
     double intercept = 0.0;
     double r_squared = 0.0; ///< coefficient of determination of the fit
 };
+/// Fits >= 2 points. Degenerate x (all equal) yields the defined fallback
+/// {slope = 0, intercept = mean(y), r_squared = 0 (1 when y is constant
+/// too)} instead of aborting; see the implementation note.
 [[nodiscard]] LineFit fit_line(std::span<const double> xs, std::span<const double> ys);
 
 /// Single-pass accumulator (Welford) for streaming mean/variance/min/max;

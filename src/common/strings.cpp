@@ -3,6 +3,7 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "common/contracts.h"
@@ -112,6 +113,13 @@ std::string format_double(double v, int significant_digits) {
     os.precision(significant_digits);
     os << v;
     return os.str();
+}
+
+std::string format_double_exact(double v) {
+    char buf[48];
+    const int n = std::snprintf(buf, sizeof(buf), "%a", v);
+    XYSIG_ASSERT(n > 0 && static_cast<std::size_t>(n) < sizeof(buf));
+    return std::string(buf, static_cast<std::size_t>(n));
 }
 
 std::string format_code_binary(unsigned code, unsigned bits) {

@@ -34,6 +34,11 @@ namespace xysig {
 /// Formats v with the given number of significant digits.
 [[nodiscard]] std::string format_double(double v, int significant_digits = 6);
 
+/// Exact, round-trippable formatting (C hexfloat, "%a"): two doubles format
+/// equal iff they are bit-identical (modulo -0.0/0.0 and NaN payloads).
+/// Used to build cache keys that must never collide for distinct values.
+[[nodiscard]] std::string format_double_exact(double v);
+
 /// Formats an n-bit code as a binary string, MSB first (monitor 1 first),
 /// e.g. code 30, 6 bits -> "011110" — the notation used in Fig. 6.
 [[nodiscard]] std::string format_code_binary(unsigned code, unsigned bits);

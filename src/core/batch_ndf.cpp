@@ -1,5 +1,7 @@
 #include "core/batch_ndf.h"
 
+#include <limits>
+
 #include "common/contracts.h"
 #include "common/parallel.h"
 
@@ -20,7 +22,15 @@ std::vector<double> BatchNdfEvaluator::evaluate(
             // One scratch per worker thread, reused across the whole batch
             // (and across batches on pool threads).
             thread_local NdfScratch scratch;
-            out[i] = pipeline_->ndf_of(*cuts[i], scratch);
+            if (options_.nan_on_numeric_error) {
+                try {
+                    out[i] = pipeline_->ndf_of(*cuts[i], scratch);
+                } catch (const NumericError&) {
+                    out[i] = std::numeric_limits<double>::quiet_NaN();
+                }
+            } else {
+                out[i] = pipeline_->ndf_of(*cuts[i], scratch);
+            }
         },
         options_.threads);
     return out;
@@ -33,6 +43,31 @@ std::vector<double> BatchNdfEvaluator::evaluate(
     for (const auto& c : cuts)
         raw.push_back(c.get());
     return evaluate(raw);
+}
+
+std::vector<std::unique_ptr<filter::Cut>> BatchNdfEvaluator::build_fault_universe(
+    const spice::Netlist& nominal, std::span<const capture::NetlistFault> faults,
+    const SpiceObservation& observation) {
+    std::vector<std::unique_ptr<filter::Cut>> universe;
+    universe.reserve(faults.size());
+    for (const auto& fault : faults) {
+        auto faulty = std::make_unique<spice::Netlist>(
+            capture::apply_fault(nominal, fault));
+        universe.push_back(std::make_unique<filter::SpiceCut>(
+            std::move(faulty), observation.input_source, observation.x_node,
+            observation.y_node, observation.settle_periods));
+    }
+    return universe;
+}
+
+std::vector<double> BatchNdfEvaluator::evaluate_netlist_faults(
+    const spice::Netlist& nominal, std::span<const capture::NetlistFault> faults,
+    const SpiceObservation& observation) const {
+    Options opts = options_;
+    opts.nan_on_numeric_error = true; // see BatchNdfOptions: universes may
+                                      // contain unsolvable members
+    const BatchNdfEvaluator tolerant(*pipeline_, opts);
+    return tolerant.evaluate(build_fault_universe(nominal, faults, observation));
 }
 
 std::vector<double> BatchNdfEvaluator::evaluate_deviations(

@@ -13,12 +13,31 @@
 #include <span>
 #include <vector>
 
+#include "capture/fault_injection.h"
 #include "core/sweep.h"
 
 namespace xysig::core {
 
 struct BatchNdfOptions {
     unsigned threads = 0; ///< worker count; 0 = default_thread_count()
+    /// Map a CUT whose simulation fails to converge (NumericError) to quiet
+    /// NaN instead of aborting the whole batch. Catastrophic fault universes
+    /// legitimately contain members with no stable solution — an open
+    /// loop-feedback resistor under ideal opamps has no DC operating point —
+    /// and one such member must not kill a thousand-point sweep. NaN keeps
+    /// "simulation failed" distinguishable from any real NDF; callers decide
+    /// whether that means "detected" for their universe.
+    /// evaluate_netlist_faults() always evaluates under this policy.
+    bool nan_on_numeric_error = false;
+};
+
+/// How a SPICE netlist CUT is driven and observed (the SpiceCut parameters
+/// shared by every member of a fault universe).
+struct SpiceObservation {
+    std::string input_source = "Vin"; ///< VoltageSource receiving the stimulus
+    std::string x_node = "in";        ///< observed x(t) node
+    std::string y_node = "lp";        ///< observed y(t) node
+    int settle_periods = 8;           ///< periods discarded before capture
 };
 
 class BatchNdfEvaluator {
@@ -49,6 +68,25 @@ public:
     [[nodiscard]] std::vector<double> evaluate_deviations(
         const filter::Biquad& nominal, std::span<const double> deviations_percent,
         SweptParameter parameter = SweptParameter::f0) const;
+
+    /// One owning SpiceCut per fault, each over its own deep-cloned,
+    /// fault-injected netlist — the universe shape evaluate() requires for
+    /// concurrent SPICE simulation (see the Cut thread-safety contract).
+    [[nodiscard]] static std::vector<std::unique_ptr<filter::Cut>>
+    build_fault_universe(const spice::Netlist& nominal,
+                         std::span<const capture::NetlistFault> faults,
+                         const SpiceObservation& observation);
+
+    /// Batch NDF of a bridging/open fault universe over a SPICE netlist:
+    /// clones + injects every fault, then evaluates concurrently. Results
+    /// are in fault order and bit-identical to simulating the same faulty
+    /// netlists serially, at any thread count. Non-convergent members come
+    /// back as quiet NaN (the nan_on_numeric_error policy is always on
+    /// here) so one pathological fault cannot abort the universe.
+    [[nodiscard]] std::vector<double> evaluate_netlist_faults(
+        const spice::Netlist& nominal,
+        std::span<const capture::NetlistFault> faults,
+        const SpiceObservation& observation) const;
 
 private:
     const SignaturePipeline* pipeline_;

@@ -1,0 +1,53 @@
+#include "core/golden_cache.h"
+
+namespace xysig::core {
+
+GoldenSignatureCache& GoldenSignatureCache::instance() {
+    static GoldenSignatureCache cache;
+    return cache;
+}
+
+std::shared_ptr<const capture::Chronogram> GoldenSignatureCache::find_or_compute(
+    const std::string& key,
+    const std::function<capture::Chronogram()>& compute) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = map_.find(key);
+        if (it != map_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    auto computed = std::make_shared<const capture::Chronogram>(compute());
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = map_.try_emplace(key, std::move(computed));
+    if (inserted)
+        ++misses_;
+    else
+        ++hits_; // lost a benign race; the first insertion is authoritative
+    return it->second;
+}
+
+std::size_t GoldenSignatureCache::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+std::size_t GoldenSignatureCache::hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::size_t GoldenSignatureCache::misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+void GoldenSignatureCache::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace xysig::core

@@ -1,0 +1,66 @@
+#ifndef XYSIG_CORE_GOLDEN_CACHE_H
+#define XYSIG_CORE_GOLDEN_CACHE_H
+
+/// \file golden_cache.h
+/// Process-wide cache of golden (ideal, unquantised) chronograms.
+///
+/// Sweep drivers rebuild a SignaturePipeline per grid point — the capture
+/// ablation rebuilds one per (f_clk, counter_bits) cell — and every rebuild
+/// used to recompute the golden signature from scratch even though the
+/// (bank, stimulus, sampling options, golden CUT) tuple is unchanged. The
+/// cache stores the expensive pre-quantisation chronogram under an exact
+/// string key assembled from those four fingerprints (see
+/// SignaturePipeline::golden_cache_key), so capture-option grids share one
+/// golden computation. Quantisation, which does depend on the capture
+/// options, is applied per pipeline after lookup.
+///
+/// Keys are exact (hexfloat-formatted values): a cache hit is bit-identical
+/// to recomputing. Entries are never evicted — goldens are tiny (tens of
+/// events) and the universe of distinct keys in one process is bounded by
+/// the distinct experimental setups, not by sweep size.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "capture/chronogram.h"
+
+namespace xysig::core {
+
+/// Thread-safe find-or-compute map from exact keys to golden chronograms.
+class GoldenSignatureCache {
+public:
+    /// The process-wide instance used by SignaturePipeline::set_golden.
+    [[nodiscard]] static GoldenSignatureCache& instance();
+
+    /// Returns the chronogram cached under `key`, computing and inserting it
+    /// on a miss. `compute` runs outside the lock (golden computation can be
+    /// slow); if two threads race on the same missing key both compute, the
+    /// first insertion wins and both return the same stored object — with
+    /// exact keys the duplicates are bit-identical anyway.
+    [[nodiscard]] std::shared_ptr<const capture::Chronogram> find_or_compute(
+        const std::string& key,
+        const std::function<capture::Chronogram()>& compute);
+
+    /// Cache statistics (for tests and capacity reports).
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::size_t hits() const;
+    [[nodiscard]] std::size_t misses() const;
+
+    /// Drops every entry and resets the counters (test isolation).
+    void clear();
+
+private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<const capture::Chronogram>>
+        map_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+} // namespace xysig::core
+
+#endif // XYSIG_CORE_GOLDEN_CACHE_H

@@ -4,6 +4,8 @@
 
 #include "common/contracts.h"
 #include "common/rng.h"
+#include "common/strings.h"
+#include "core/golden_cache.h"
 
 namespace xysig::core {
 
@@ -42,8 +44,42 @@ capture::CaptureResult SignaturePipeline::capture(const filter::Cut& cut,
     return unit.capture(tr, bank_);
 }
 
+std::string SignaturePipeline::golden_cache_key(const filter::Cut& cut) const {
+    const std::string cut_key = cut.cache_key();
+    if (cut_key.empty())
+        return {};
+    const std::string bank_fp = bank_.fingerprint();
+    if (bank_fp.empty())
+        return {};
+    std::string key = "cut{" + cut_key + "}|bank{" + bank_fp + "}|stim{" +
+                      format_double_exact(stimulus_.offset());
+    for (const Tone& tone : stimulus_.tones())
+        key += ";" + format_double_exact(tone.amplitude) + "," +
+               format_double_exact(tone.frequency_hz) + "," +
+               format_double_exact(tone.phase_rad);
+    key += "}|spp=" + std::to_string(options_.samples_per_period);
+    key += "|ck=";
+    key += options_.compiled_kernels ? '1' : '0';
+    return key;
+}
+
 void SignaturePipeline::set_golden(const filter::Cut& golden_cut) {
-    golden_ = chronogram(golden_cut, nullptr);
+    NdfScratch scratch;
+    std::shared_ptr<const capture::Chronogram> ideal;
+    const std::string key = golden_cache_key(golden_cut);
+    if (key.empty()) {
+        ideal = std::make_shared<const capture::Chronogram>(
+            ideal_chronogram(golden_cut, scratch, nullptr));
+    } else {
+        ideal = GoldenSignatureCache::instance().find_or_compute(
+            key, [&] { return ideal_chronogram(golden_cut, scratch, nullptr); });
+    }
+    if (!options_.quantise) {
+        golden_ = *ideal;
+        return;
+    }
+    const capture::CaptureUnit unit(options_.capture);
+    golden_ = unit.capture(*ideal).signature.to_chronogram();
 }
 
 const capture::Chronogram& SignaturePipeline::golden() const {
@@ -55,8 +91,9 @@ double SignaturePipeline::ndf_of(const filter::Cut& cut, Rng* noise_rng) const {
     return ndf(chronogram(cut, noise_rng), golden());
 }
 
-double SignaturePipeline::ndf_of(const filter::Cut& cut, NdfScratch& scratch,
-                                 Rng* noise_rng) const {
+capture::Chronogram SignaturePipeline::ideal_chronogram(const filter::Cut& cut,
+                                                        NdfScratch& scratch,
+                                                        Rng* noise_rng) const {
     double dt = 0.0;
     cut.respond_into(stimulus_, options_.samples_per_period, scratch.xs_,
                      scratch.ys_, dt);
@@ -79,8 +116,13 @@ double SignaturePipeline::ndf_of(const filter::Cut& cut, NdfScratch& scratch,
                                            scratch.events_);
     }
     const double period = dt * static_cast<double>(scratch.xs_.size());
-    capture::Chronogram ideal(period, static_cast<unsigned>(bank_.size()),
-                              scratch.events_);
+    return capture::Chronogram(period, static_cast<unsigned>(bank_.size()),
+                               scratch.events_);
+}
+
+double SignaturePipeline::ndf_of(const filter::Cut& cut, NdfScratch& scratch,
+                                 Rng* noise_rng) const {
+    const capture::Chronogram ideal = ideal_chronogram(cut, scratch, noise_rng);
     if (!options_.quantise)
         return ndf(ideal, golden());
     const capture::CaptureUnit unit(options_.capture);

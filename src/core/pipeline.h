@@ -75,8 +75,23 @@ public:
     [[nodiscard]] capture::CaptureResult capture(const filter::Cut& cut,
                                                  Rng* noise_rng = nullptr) const;
 
-    /// Stores the golden signature (noise-free by definition).
+    /// Stores the golden signature (noise-free by definition). Runs the
+    /// same scratch path as ndf_of (compiled kernels when enabled) instead
+    /// of the virtual chronogram path, and serves the ideal (unquantised)
+    /// chronogram from the process-wide GoldenSignatureCache when the
+    /// (bank, stimulus, sampling options, cut) tuple has an exact
+    /// fingerprint — see golden_cache_key(). Cache hits are bit-identical
+    /// to recomputation; quantisation (options().quantise) is applied after
+    /// lookup because it depends on the capture options, which are
+    /// deliberately outside the key.
     void set_golden(const filter::Cut& golden_cut);
+
+    /// The cache key set_golden files the ideal golden chronogram under:
+    /// exact fingerprints of (golden cut, monitor bank, stimulus,
+    /// samples_per_period, compiled_kernels). Empty when the cut or a
+    /// monitor cannot produce an exact fingerprint — set_golden then
+    /// computes without caching.
+    [[nodiscard]] std::string golden_cache_key(const filter::Cut& cut) const;
     [[nodiscard]] bool has_golden() const noexcept { return golden_.has_value(); }
     [[nodiscard]] const capture::Chronogram& golden() const;
 
@@ -94,6 +109,14 @@ public:
     }
 
 private:
+    /// Shared trunk of ndf_of(scratch) and set_golden: CUT response into the
+    /// scratch buffers, optional noise, zoning + run-length encoding (the
+    /// compiled kernels when options().compiled_kernels is set), returned as
+    /// the ideal (unquantised) chronogram.
+    [[nodiscard]] capture::Chronogram ideal_chronogram(const filter::Cut& cut,
+                                                       NdfScratch& scratch,
+                                                       Rng* noise_rng) const;
+
     monitor::MonitorBank bank_;
     kernels::CompiledMonitorBank compiled_bank_;
     MultitoneWaveform stimulus_;

@@ -50,6 +50,16 @@ std::string BehaviouralCut::description() const {
            " Hz, Q=" + format_double(filter_.design().q, 4);
 }
 
+std::string BehaviouralCut::cache_key() const {
+    // Exact (hexfloat) design parameters: equal keys <=> bit-identical
+    // steady-state responses.
+    const BiquadDesign& d = filter_.design();
+    return "biquad{f0=" + format_double_exact(d.f0) +
+           ",q=" + format_double_exact(d.q) +
+           ",g=" + format_double_exact(d.gain) +
+           ",k=" + std::to_string(static_cast<int>(d.kind)) + "}";
+}
+
 SpiceCut::SpiceCut(spice::Netlist& netlist, std::string input_source,
                    std::string x_node, std::string y_node, int settle_periods)
     : netlist_(&netlist), input_source_(std::move(input_source)),
@@ -58,8 +68,32 @@ SpiceCut::SpiceCut(spice::Netlist& netlist, std::string input_source,
     XYSIG_EXPECTS(settle_periods >= 1);
 }
 
+SpiceCut::SpiceCut(std::unique_ptr<spice::Netlist> netlist,
+                   std::string input_source, std::string x_node,
+                   std::string y_node, int settle_periods)
+    : owned_(std::move(netlist)), netlist_(owned_.get()),
+      input_source_(std::move(input_source)), x_node_(std::move(x_node)),
+      y_node_(std::move(y_node)), settle_periods_(settle_periods) {
+    XYSIG_EXPECTS(owned_ != nullptr);
+    XYSIG_EXPECTS(settle_periods >= 1);
+}
+
 XyTrace SpiceCut::respond(const MultitoneWaveform& stimulus,
                           std::size_t samples_per_period) const {
+    // Same single-copy scheme as BehaviouralCut: respond() and
+    // respond_into() must never diverge (batch bit-identity contract).
+    std::vector<double> xs;
+    std::vector<double> ys;
+    double dt = 0.0;
+    respond_into(stimulus, samples_per_period, xs, ys, dt);
+    return XyTrace(SampledSignal(0.0, dt, std::move(xs)),
+                   SampledSignal(0.0, dt, std::move(ys)));
+}
+
+void SpiceCut::respond_into(const MultitoneWaveform& stimulus,
+                            std::size_t samples_per_period,
+                            std::vector<double>& xs, std::vector<double>& ys,
+                            double& dt) const {
     XYSIG_EXPECTS(samples_per_period >= 16);
     const double period = stimulus.period();
     auto& src = netlist_->get<spice::VoltageSource>(input_source_);
@@ -69,7 +103,7 @@ XyTrace SpiceCut::respond(const MultitoneWaveform& stimulus,
     opts.t_start = 0.0;
     opts.t_stop = static_cast<double>(settle_periods_ + 1) * period;
     opts.dt = period / static_cast<double>(samples_per_period);
-    const auto res = spice::run_transient(*netlist_, opts);
+    spice::run_transient_into(*netlist_, opts, tran_);
 
     // Extract the final period and re-base it to t = 0 (the stimulus is
     // T-periodic, so its phase at k*T equals its phase at 0).
@@ -77,14 +111,13 @@ XyTrace SpiceCut::respond(const MultitoneWaveform& stimulus,
         static_cast<std::size_t>(settle_periods_) * samples_per_period;
     const spice::NodeId xn = netlist_->find_node(x_node_);
     const spice::NodeId yn = netlist_->find_node(y_node_);
-    std::vector<double> xs(samples_per_period);
-    std::vector<double> ys(samples_per_period);
+    xs.resize(samples_per_period);
+    ys.resize(samples_per_period);
     for (std::size_t i = 0; i < samples_per_period; ++i) {
-        xs[i] = res.voltage(xn, first + i);
-        ys[i] = res.voltage(yn, first + i);
+        xs[i] = tran_.voltage(xn, first + i);
+        ys[i] = tran_.voltage(yn, first + i);
     }
-    return XyTrace(SampledSignal(0.0, opts.dt, std::move(xs)),
-                   SampledSignal(0.0, opts.dt, std::move(ys)));
+    dt = opts.dt;
 }
 
 std::string SpiceCut::description() const {

@@ -18,11 +18,20 @@
 #include "signal/sampled.h"
 #include "signal/waveform.h"
 #include "spice/netlist.h"
+#include "spice/transient.h"
 #include "spice/types.h"
 
 namespace xysig::filter {
 
 /// Produces the observed Lissajous period for a stimulus.
+///
+/// Thread-safety contract (relied on by core::BatchNdfEvaluator): a single
+/// Cut instance may be evaluated from at most one thread at a time, but
+/// distinct instances must be safe to evaluate concurrently — they must not
+/// share mutable state. BehaviouralCut is stateless and satisfies this
+/// trivially; SpiceCut satisfies it when every instance owns (or exclusively
+/// references) its own netlist, which is what the owning constructor and
+/// Netlist::clone() provide.
 class Cut {
 public:
     virtual ~Cut() = default;
@@ -46,6 +55,12 @@ public:
 
     /// Human-readable description for reports.
     [[nodiscard]] virtual std::string description() const = 0;
+
+    /// Exact fingerprint for the golden-signature cache: two cuts with equal
+    /// non-empty keys must produce bit-identical responses to any stimulus.
+    /// The default (empty) marks the cut as non-cacheable; description() is
+    /// NOT a substitute — it rounds values for display.
+    [[nodiscard]] virtual std::string cache_key() const { return {}; }
 };
 
 /// Exact steady-state Biquad response (x = stimulus, y = filter output).
@@ -59,6 +74,7 @@ public:
                       std::size_t samples_per_period, std::vector<double>& xs,
                       std::vector<double>& ys, double& dt) const override;
     [[nodiscard]] std::string description() const override;
+    [[nodiscard]] std::string cache_key() const override;
 
     [[nodiscard]] const Biquad& filter() const noexcept { return filter_; }
 
@@ -66,8 +82,16 @@ private:
     Biquad filter_;
 };
 
-/// Transient-simulated netlist response. The netlist is owned externally;
-/// SpiceCut mutates only the named input source's waveform.
+/// Transient-simulated netlist response.
+///
+/// The netlist is either owned externally (reference constructor — the
+/// caller promises it outlives the cut and is not simulated elsewhere) or by
+/// the cut itself (owning constructor — the building block of SPICE fault
+/// universes, where every cut gets its own deep clone). respond() mutates
+/// the netlist (stimulus waveform + device transient state) and reuses an
+/// internal transient buffer, so one instance must never be evaluated from
+/// two threads at once; distinct instances over distinct netlists evaluate
+/// concurrently without contention (see the Cut contract above).
 class SpiceCut final : public Cut {
 public:
     /// \param netlist        circuit to simulate (kept by reference)
@@ -77,16 +101,30 @@ public:
     SpiceCut(spice::Netlist& netlist, std::string input_source, std::string x_node,
              std::string y_node, int settle_periods = 8);
 
+    /// Owning variant: the cut keeps the netlist alive for its lifetime and
+    /// is safe to evaluate concurrently with any other SpiceCut.
+    SpiceCut(std::unique_ptr<spice::Netlist> netlist, std::string input_source,
+             std::string x_node, std::string y_node, int settle_periods = 8);
+
     [[nodiscard]] XyTrace respond(const MultitoneWaveform& stimulus,
                                   std::size_t samples_per_period) const override;
+    void respond_into(const MultitoneWaveform& stimulus,
+                      std::size_t samples_per_period, std::vector<double>& xs,
+                      std::vector<double>& ys, double& dt) const override;
     [[nodiscard]] std::string description() const override;
 
+    [[nodiscard]] const spice::Netlist& netlist() const noexcept { return *netlist_; }
+
 private:
+    std::unique_ptr<spice::Netlist> owned_; ///< set by the owning constructor
     spice::Netlist* netlist_;
     std::string input_source_;
     std::string x_node_;
     std::string y_node_;
     int settle_periods_;
+    /// Per-instance transient scratch: row buffers survive across respond()
+    /// calls, so repeated evaluations stop reallocating the trajectory.
+    mutable spice::TransientResult tran_;
 };
 
 } // namespace xysig::filter

@@ -4,6 +4,7 @@
 
 #include "common/contracts.h"
 #include "common/math_util.h"
+#include "common/strings.h"
 
 namespace xysig::monitor {
 
@@ -28,6 +29,13 @@ LinearBoundary::LinearBoundary(double a, double b, double c) : a_(a), b_(b), c_(
 }
 
 double LinearBoundary::h(double x, double y) const { return a_ * x + b_ * y + c_; }
+
+std::string LinearBoundary::fingerprint() const {
+    // Post-normalisation coefficients, exact: equal fingerprints <=>
+    // bit-identical h() everywhere.
+    return "lin{" + format_double_exact(a_) + "," + format_double_exact(b_) +
+           "," + format_double_exact(c_) + "}";
+}
 
 std::vector<CurvePoint> trace_boundary(const Boundary& boundary, double x_lo,
                                        double x_hi, std::size_t n_x, double y_lo,

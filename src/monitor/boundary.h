@@ -11,6 +11,7 @@
 /// side.
 
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace xysig::monitor {
@@ -35,6 +36,12 @@ public:
 
     [[nodiscard]] virtual std::unique_ptr<Boundary> clone() const = 0;
 
+    /// Exact identity for caching: two boundaries with equal non-empty
+    /// fingerprints must classify every (x, y) identically. The default
+    /// (empty) marks a boundary type as non-cacheable, which simply opts
+    /// pipelines using it out of the golden-signature cache.
+    [[nodiscard]] virtual std::string fingerprint() const { return {}; }
+
 protected:
     Boundary() = default;
     Boundary(const Boundary&) = default;
@@ -54,6 +61,7 @@ public:
     [[nodiscard]] std::unique_ptr<Boundary> clone() const override {
         return std::make_unique<LinearBoundary>(*this);
     }
+    [[nodiscard]] std::string fingerprint() const override;
 
     [[nodiscard]] double a() const noexcept { return a_; }
     [[nodiscard]] double b() const noexcept { return b_; }

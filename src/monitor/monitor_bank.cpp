@@ -29,6 +29,17 @@ const Boundary& MonitorBank::monitor(std::size_t i) const {
     return *monitors_[i];
 }
 
+std::string MonitorBank::fingerprint() const {
+    std::string fp;
+    for (const auto& m : monitors_) {
+        const std::string part = m->fingerprint();
+        if (part.empty())
+            return {}; // one opaque monitor poisons the whole bank
+        fp += part + "/";
+    }
+    return fp;
+}
+
 unsigned MonitorBank::code(double x, double y) const {
     XYSIG_EXPECTS(!monitors_.empty());
     unsigned c = 0;

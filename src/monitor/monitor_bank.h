@@ -37,6 +37,12 @@ public:
         return 1u << monitors_.size();
     }
 
+    /// Exact identity of the whole bank (ordered concatenation of monitor
+    /// fingerprints): two banks with equal non-empty fingerprints produce
+    /// identical zone codes everywhere. Empty when any monitor is of a
+    /// non-cacheable boundary type — callers must then skip caching.
+    [[nodiscard]] std::string fingerprint() const;
+
 private:
     std::vector<std::unique_ptr<Boundary>> monitors_;
 };

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/contracts.h"
+#include "common/strings.h"
 
 namespace xysig::monitor {
 
@@ -55,6 +56,38 @@ double MosCurrentBoundary::current_difference(double x, double y) const {
     return config_.leg_current(0, x, y) + config_.leg_current(1, x, y) -
            config_.leg_current(2, x, y) - config_.leg_current(3, x, y) +
            config_.offset_current;
+}
+
+std::string MosCurrentBoundary::fingerprint() const {
+    // Every value h() depends on, exact; the display name is deliberately
+    // excluded (renaming a monitor does not change its boundary). The
+    // asserts trip when a field is added to MosParams or MonitorLeg so the
+    // new field cannot be silently dropped from the cache key (a collision
+    // would serve a stale golden with no error).
+    static_assert(sizeof(spice::MosParams) ==
+                      2 * sizeof(spice::MosType) + 6 * sizeof(double),
+                  "MosParams changed: extend fingerprint() below");
+    static_assert(sizeof(MonitorLeg) ==
+                      sizeof(MonitorInput) + 4 * sizeof(double) + 4 /*pad*/,
+                  "MonitorLeg changed: extend fingerprint() below");
+    std::string fp = "mos{";
+    for (const auto& leg : config_.legs) {
+        fp += std::to_string(static_cast<int>(leg.input)) + ":" +
+              format_double_exact(leg.dc_level) + ":" +
+              format_double_exact(leg.width) + ":" +
+              format_double_exact(leg.vt0_delta) + ":" +
+              format_double_exact(leg.kp_scale) + ";";
+    }
+    const spice::MosParams& d = config_.device;
+    fp += "dev:" + std::to_string(static_cast<int>(d.type)) + ":" +
+          std::to_string(static_cast<int>(d.model)) + ":" +
+          format_double_exact(d.w) + ":" + format_double_exact(d.l) + ":" +
+          format_double_exact(d.vt0) + ":" + format_double_exact(d.kp) + ":" +
+          format_double_exact(d.n_slope) + ":" + format_double_exact(d.lambda);
+    fp += "|vds=" + format_double_exact(config_.vds_eval);
+    fp += "|ioff=" + format_double_exact(config_.offset_current);
+    fp += "|or=" + format_double_exact(orientation_);
+    return fp + "}";
 }
 
 double MosCurrentBoundary::h(double x, double y) const {

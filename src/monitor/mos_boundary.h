@@ -70,6 +70,7 @@ public:
     [[nodiscard]] std::unique_ptr<Boundary> clone() const override {
         return std::make_unique<MosCurrentBoundary>(*this);
     }
+    [[nodiscard]] std::string fingerprint() const override;
 
     /// Unoriented current difference (I_left - I_right) in amperes.
     [[nodiscard]] double current_difference(double x, double y) const;

@@ -10,6 +10,7 @@
 /// state across transient steps (begin_transient / step_accepted, with
 /// save/restore used by the adaptive step-doubling error control).
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -57,8 +58,13 @@ public:
     Device(std::string name, std::vector<NodeId> nodes);
     virtual ~Device() = default;
 
-    Device(const Device&) = delete;
     Device& operator=(const Device&) = delete;
+
+    /// Deep copy of this device, including any transient state, suitable for
+    /// insertion into a cloned netlist (node ids are netlist-relative and
+    /// copied verbatim). Backbone of Netlist::clone(), which gives every
+    /// batch worker its own re-entrant circuit.
+    [[nodiscard]] virtual std::unique_ptr<Device> clone() const = 0;
 
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
     [[nodiscard]] std::span<const NodeId> nodes() const noexcept { return nodes_; }
@@ -95,6 +101,9 @@ public:
     virtual void restore_state(std::span<const double> state);
 
 protected:
+    /// Copyable by derived clone() implementations only.
+    Device(const Device&) = default;
+
     /// Voltage of the i-th connection node in a solution vector.
     [[nodiscard]] double node_v(std::span<const double> x, std::size_t i) const {
         const NodeId n = nodes_[i];

@@ -22,6 +22,10 @@ public:
     /// Node order: anode, cathode.
     Diode(std::string name, NodeId anode, NodeId cathode, DiodeParams params = {});
 
+    [[nodiscard]] std::unique_ptr<Device> clone() const override {
+        return std::make_unique<Diode>(*this);
+    }
+
     [[nodiscard]] bool is_nonlinear() const override { return true; }
     void stamp(StampContext& ctx) const override;
     void stamp_ac(AcStampContext& ctx) const override;

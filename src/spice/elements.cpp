@@ -13,6 +13,10 @@ Resistor::Resistor(std::string name, NodeId n1, NodeId n2, double resistance)
     XYSIG_EXPECTS(resistance > 0.0);
 }
 
+std::unique_ptr<Device> Resistor::clone() const {
+    return std::make_unique<Resistor>(*this);
+}
+
 void Resistor::set_resistance(double r) {
     XYSIG_EXPECTS(r > 0.0);
     resistance_ = r;
@@ -31,6 +35,10 @@ void Resistor::stamp_ac(AcStampContext& ctx) const {
 Capacitor::Capacitor(std::string name, NodeId n1, NodeId n2, double capacitance)
     : Device(std::move(name), {n1, n2}), capacitance_(capacitance) {
     XYSIG_EXPECTS(capacitance > 0.0);
+}
+
+std::unique_ptr<Device> Capacitor::clone() const {
+    return std::make_unique<Capacitor>(*this);
 }
 
 void Capacitor::set_capacitance(double c) {
@@ -89,6 +97,10 @@ void Capacitor::restore_state(std::span<const double> state) {
 Inductor::Inductor(std::string name, NodeId n1, NodeId n2, double inductance)
     : Device(std::move(name), {n1, n2}), inductance_(inductance) {
     XYSIG_EXPECTS(inductance > 0.0);
+}
+
+std::unique_ptr<Device> Inductor::clone() const {
+    return std::make_unique<Inductor>(*this);
 }
 
 void Inductor::stamp(StampContext& ctx) const {
@@ -156,6 +168,14 @@ VoltageSource::VoltageSource(std::string name, NodeId np, NodeId nn, double dc_l
     : Device(std::move(name), {np, nn}),
       wave_(std::make_unique<DcWaveform>(dc_level)) {}
 
+VoltageSource::VoltageSource(const VoltageSource& other)
+    : Device(other), wave_(other.wave_->clone()),
+      ac_magnitude_(other.ac_magnitude_), ac_phase_(other.ac_phase_) {}
+
+std::unique_ptr<Device> VoltageSource::clone() const {
+    return std::make_unique<VoltageSource>(*this);
+}
+
 void VoltageSource::set_waveform(const Waveform& wave) { wave_ = wave.clone(); }
 
 void VoltageSource::set_ac(double magnitude, double phase_rad) noexcept {
@@ -198,6 +218,13 @@ CurrentSource::CurrentSource(std::string name, NodeId np, NodeId nn, double dc_l
     : Device(std::move(name), {np, nn}),
       wave_(std::make_unique<DcWaveform>(dc_level)) {}
 
+CurrentSource::CurrentSource(const CurrentSource& other)
+    : Device(other), wave_(other.wave_->clone()) {}
+
+std::unique_ptr<Device> CurrentSource::clone() const {
+    return std::make_unique<CurrentSource>(*this);
+}
+
 void CurrentSource::stamp(StampContext& ctx) const {
     const double i = ctx.source_scale * wave_->value(ctx.time);
     // Positive current flows n+ -> n- through the source: it leaves the
@@ -210,6 +237,10 @@ void CurrentSource::stamp(StampContext& ctx) const {
 
 Vcvs::Vcvs(std::string name, NodeId p, NodeId n, NodeId cp, NodeId cn, double gain)
     : Device(std::move(name), {p, n, cp, cn}), gain_(gain) {}
+
+std::unique_ptr<Device> Vcvs::clone() const {
+    return std::make_unique<Vcvs>(*this);
+}
 
 void Vcvs::stamp(StampContext& ctx) const {
     const int br = extra_base();
@@ -239,6 +270,10 @@ void Vcvs::stamp_ac(AcStampContext& ctx) const {
 Vccs::Vccs(std::string name, NodeId p, NodeId n, NodeId cp, NodeId cn, double gm)
     : Device(std::move(name), {p, n, cp, cn}), gm_(gm) {}
 
+std::unique_ptr<Device> Vccs::clone() const {
+    return std::make_unique<Vccs>(*this);
+}
+
 void Vccs::stamp(StampContext& ctx) const {
     ctx.mna->transconductance(nodes()[0], nodes()[1], nodes()[2], nodes()[3], gm_);
 }
@@ -252,6 +287,10 @@ void Vccs::stamp_ac(AcStampContext& ctx) const {
 
 IdealOpamp::IdealOpamp(std::string name, NodeId inp, NodeId inn, NodeId out)
     : Device(std::move(name), {inp, inn, out}) {}
+
+std::unique_ptr<Device> IdealOpamp::clone() const {
+    return std::make_unique<IdealOpamp>(*this);
+}
 
 void IdealOpamp::stamp(StampContext& ctx) const {
     const int br = extra_base();

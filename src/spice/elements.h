@@ -16,6 +16,7 @@ class Resistor final : public Device {
 public:
     Resistor(std::string name, NodeId n1, NodeId n2, double resistance);
 
+    [[nodiscard]] std::unique_ptr<Device> clone() const override;
     void stamp(StampContext& ctx) const override;
     void stamp_ac(AcStampContext& ctx) const override;
 
@@ -33,6 +34,7 @@ class Capacitor final : public Device {
 public:
     Capacitor(std::string name, NodeId n1, NodeId n2, double capacitance);
 
+    [[nodiscard]] std::unique_ptr<Device> clone() const override;
     void stamp(StampContext& ctx) const override;
     void stamp_ac(AcStampContext& ctx) const override;
     void begin_transient(std::span<const double> op_solution) override;
@@ -55,6 +57,7 @@ class Inductor final : public Device {
 public:
     Inductor(std::string name, NodeId n1, NodeId n2, double inductance);
 
+    [[nodiscard]] std::unique_ptr<Device> clone() const override;
     [[nodiscard]] int extra_variable_count() const override { return 1; }
     void stamp(StampContext& ctx) const override;
     void stamp_ac(AcStampContext& ctx) const override;
@@ -78,7 +81,10 @@ class VoltageSource final : public Device {
 public:
     VoltageSource(std::string name, NodeId np, NodeId nn, const Waveform& wave);
     VoltageSource(std::string name, NodeId np, NodeId nn, double dc_level);
+    /// Deep copy: the drive waveform is cloned, never shared.
+    VoltageSource(const VoltageSource& other);
 
+    [[nodiscard]] std::unique_ptr<Device> clone() const override;
     [[nodiscard]] int extra_variable_count() const override { return 1; }
     void stamp(StampContext& ctx) const override;
     void stamp_ac(AcStampContext& ctx) const override;
@@ -105,7 +111,10 @@ class CurrentSource final : public Device {
 public:
     CurrentSource(std::string name, NodeId np, NodeId nn, const Waveform& wave);
     CurrentSource(std::string name, NodeId np, NodeId nn, double dc_level);
+    /// Deep copy: the drive waveform is cloned, never shared.
+    CurrentSource(const CurrentSource& other);
 
+    [[nodiscard]] std::unique_ptr<Device> clone() const override;
     void stamp(StampContext& ctx) const override;
 
 private:
@@ -117,6 +126,7 @@ class Vcvs final : public Device {
 public:
     Vcvs(std::string name, NodeId p, NodeId n, NodeId cp, NodeId cn, double gain);
 
+    [[nodiscard]] std::unique_ptr<Device> clone() const override;
     [[nodiscard]] int extra_variable_count() const override { return 1; }
     void stamp(StampContext& ctx) const override;
     void stamp_ac(AcStampContext& ctx) const override;
@@ -132,6 +142,7 @@ class Vccs final : public Device {
 public:
     Vccs(std::string name, NodeId p, NodeId n, NodeId cp, NodeId cn, double gm);
 
+    [[nodiscard]] std::unique_ptr<Device> clone() const override;
     void stamp(StampContext& ctx) const override;
     void stamp_ac(AcStampContext& ctx) const override;
 
@@ -145,6 +156,7 @@ class IdealOpamp final : public Device {
 public:
     IdealOpamp(std::string name, NodeId inp, NodeId inn, NodeId out);
 
+    [[nodiscard]] std::unique_ptr<Device> clone() const override;
     [[nodiscard]] int extra_variable_count() const override { return 1; }
     void stamp(StampContext& ctx) const override;
     void stamp_ac(AcStampContext& ctx) const override;

@@ -77,6 +77,10 @@ public:
     Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source,
            MosParams params);
 
+    [[nodiscard]] std::unique_ptr<Device> clone() const override {
+        return std::make_unique<Mosfet>(*this);
+    }
+
     [[nodiscard]] bool is_nonlinear() const override { return true; }
     void stamp(StampContext& ctx) const override;
     void stamp_ac(AcStampContext& ctx) const override;

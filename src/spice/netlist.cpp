@@ -13,6 +13,17 @@ Netlist::Netlist() {
     ids_.emplace("gnd", kGround);
 }
 
+Netlist Netlist::clone() const {
+    Netlist out;
+    out.names_ = names_;
+    out.ids_ = ids_;
+    out.devices_.reserve(devices_.size());
+    for (const auto& dev : devices_)
+        out.devices_.push_back(dev->clone());
+    out.device_index_ = device_index_;
+    return out;
+}
+
 NodeId Netlist::node(const std::string& name) {
     XYSIG_EXPECTS(!name.empty());
     const std::string key = to_lower(name);

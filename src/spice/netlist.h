@@ -27,9 +27,20 @@
 namespace xysig::spice {
 
 /// Owns the devices and the node name table of one circuit.
+///
+/// Netlists are movable but not copyable; an explicit deep copy is provided
+/// by clone(). Cloning is the re-entrancy primitive of the SPICE backend:
+/// transient simulation mutates device state (companion-model history,
+/// source waveforms), so concurrent workers must each own a clone instead
+/// of sharing one netlist.
 class Netlist {
 public:
     Netlist();
+
+    /// Deep copy: node table, every device (including waveforms and
+    /// transient state) and the lookup indices. The clone shares no mutable
+    /// state with the original — simulating one never affects the other.
+    [[nodiscard]] Netlist clone() const;
 
     /// Returns the id for a named node, creating it on first use.
     /// The name "0" and "gnd" map to ground.
@@ -70,6 +81,13 @@ public:
         if (typed == nullptr)
             throw InvalidInput("Netlist: device '" + name + "' has unexpected type");
         return *typed;
+    }
+
+    /// Non-throwing lookup: nullptr when the name is unknown or the type
+    /// does not match (used by fault enumeration to probe device kinds).
+    template <typename T>
+    [[nodiscard]] T* try_get(const std::string& name) const {
+        return dynamic_cast<T*>(find_device(name));
     }
 
     /// Total unknowns: (node_count-1) node voltages + extra branch variables.

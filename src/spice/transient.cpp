@@ -11,31 +11,43 @@ namespace xysig::spice {
 TransientResult::TransientResult(const Netlist& nl, bool fixed_step)
     : netlist_(&nl), fixed_step_(fixed_step) {}
 
+void TransientResult::reset(const Netlist& nl, bool fixed_step) {
+    netlist_ = &nl;
+    fixed_step_ = fixed_step;
+    time_.clear(); // rows_ keeps its storage; live length is time_.size()
+    total_newton_iterations = 0;
+    rejected_steps = 0;
+}
+
 void TransientResult::append(double t, std::span<const double> x) {
+    if (time_.size() < rows_.size())
+        rows_[time_.size()].assign(x.begin(), x.end());
+    else
+        rows_.emplace_back(x.begin(), x.end());
     time_.push_back(t);
-    rows_.emplace_back(x.begin(), x.end());
 }
 
 double TransientResult::voltage(NodeId node, std::size_t step) const {
-    XYSIG_EXPECTS(step < rows_.size());
+    XYSIG_EXPECTS(step < time_.size());
     if (node == kGround)
         return 0.0;
     return rows_[step][static_cast<std::size_t>(node) - 1];
 }
 
 std::vector<double> TransientResult::voltage_trace(NodeId node) const {
-    std::vector<double> out(rows_.size());
-    for (std::size_t i = 0; i < rows_.size(); ++i)
+    std::vector<double> out(time_.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
         out[i] = voltage(node, i);
     return out;
 }
 
 std::vector<double> TransientResult::voltage_trace(const std::string& node) const {
+    XYSIG_EXPECTS(netlist_ != nullptr); // default-constructed: run first
     return voltage_trace(netlist_->find_node(node));
 }
 
 double TransientResult::unknown(std::size_t index, std::size_t step) const {
-    XYSIG_EXPECTS(step < rows_.size());
+    XYSIG_EXPECTS(step < time_.size());
     XYSIG_EXPECTS(index < rows_[step].size());
     return rows_[step][index];
 }
@@ -65,6 +77,7 @@ SampledSignal TransientResult::sampled_voltage(NodeId node, double dt) const {
 
 SampledSignal TransientResult::sampled_voltage(const std::string& node,
                                                double dt) const {
+    XYSIG_EXPECTS(netlist_ != nullptr); // default-constructed: run first
     return sampled_voltage(netlist_->find_node(node), dt);
 }
 
@@ -112,6 +125,13 @@ void accept(const Netlist& nl, std::span<const double> x, double t, double dt,
 } // namespace
 
 TransientResult run_transient(const Netlist& nl, const TransientOptions& opts) {
+    TransientResult result;
+    run_transient_into(nl, opts, result);
+    return result;
+}
+
+void run_transient_into(const Netlist& nl, const TransientOptions& opts,
+                        TransientResult& out) {
     XYSIG_EXPECTS(opts.t_stop > opts.t_start);
     XYSIG_EXPECTS(opts.dt > 0.0);
 
@@ -120,7 +140,8 @@ TransientResult run_transient(const Netlist& nl, const TransientOptions& opts) {
     for (const auto& dev : nl.devices())
         dev->begin_transient(op.unknowns());
 
-    TransientResult result(nl, !opts.adaptive);
+    TransientResult& result = out;
+    result.reset(nl, !opts.adaptive);
     result.append(opts.t_start, op.unknowns());
 
     std::vector<double> x(op.unknowns().begin(), op.unknowns().end());
@@ -143,7 +164,7 @@ TransientResult run_transient(const Netlist& nl, const TransientOptions& opts) {
             accept(nl, x, t_new, opts.dt, integ);
             result.append(t_new, x);
         }
-        return result;
+        return;
     }
 
     // Adaptive: step doubling. Take one full step and two half steps from the
@@ -202,7 +223,6 @@ TransientResult run_transient(const Netlist& nl, const TransientOptions& opts) {
                                    std::to_string(t));
         }
     }
-    return result;
 }
 
 } // namespace xysig::spice

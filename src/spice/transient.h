@@ -16,9 +16,22 @@
 namespace xysig::spice {
 
 /// Stored trajectory of every unknown at every accepted time point.
+///
+/// A TransientResult can be reused across runs via run_transient_into():
+/// reset() rewinds the logical length while keeping the row storage, so a
+/// driver that simulates thousands of circuits (the batch fault-universe
+/// engine) stops reallocating one vector per time point per run.
 class TransientResult {
 public:
+    /// Empty result awaiting run_transient_into(); any accessor that needs
+    /// stored steps requires a run first.
+    TransientResult() = default;
+
     TransientResult(const Netlist& nl, bool fixed_step);
+
+    /// Rebinds to a netlist and rewinds to zero stored steps. Row buffers
+    /// are kept and overwritten in place by subsequent append() calls.
+    void reset(const Netlist& nl, bool fixed_step);
 
     [[nodiscard]] std::span<const double> time() const noexcept { return time_; }
     [[nodiscard]] std::size_t step_count() const noexcept { return time_.size(); }
@@ -52,10 +65,12 @@ public:
     void append(double t, std::span<const double> x);
 
 private:
-    const Netlist* netlist_;
-    bool fixed_step_;
+    const Netlist* netlist_ = nullptr;
+    bool fixed_step_ = false;
     std::vector<double> time_;
-    std::vector<std::vector<double>> rows_; // one vector per time point
+    /// Row storage; only the first time_.size() rows are live — reset()
+    /// keeps the rest as capacity for the next run.
+    std::vector<std::vector<double>> rows_;
 };
 
 /// Runs a transient analysis. The initial condition is the DC operating
@@ -63,6 +78,14 @@ private:
 /// fails to converge (fixed) or dt_min is reached (adaptive).
 [[nodiscard]] TransientResult run_transient(const Netlist& nl,
                                             const TransientOptions& opts);
+
+/// Buffer-reusing variant: resets `out` and runs the analysis into it,
+/// reusing its row storage from previous runs. Numerically identical to
+/// run_transient (same code path). The netlist's device state is mutated
+/// during the run, so one netlist must never be simulated from two threads
+/// at once — clone it per worker (Netlist::clone()).
+void run_transient_into(const Netlist& nl, const TransientOptions& opts,
+                        TransientResult& out);
 
 } // namespace xysig::spice
 

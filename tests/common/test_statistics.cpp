@@ -59,6 +59,16 @@ TEST(Correlation, PerfectPositiveAndNegative) {
     EXPECT_NEAR(correlation(xs, down), -1.0, 1e-12);
 }
 
+TEST(Correlation, ConstantSeriesIsNanNotAbort) {
+    // Regression: a flat column used to trip XYSIG_EXPECTS and kill the
+    // whole sweep; the coefficient is undefined, so it must come back NaN.
+    const std::vector<double> flat = {5.0, 5.0, 5.0};
+    const std::vector<double> ramp = {1.0, 2.0, 3.0};
+    EXPECT_TRUE(std::isnan(correlation(flat, ramp)));
+    EXPECT_TRUE(std::isnan(correlation(ramp, flat)));
+    EXPECT_TRUE(std::isnan(correlation(flat, flat)));
+}
+
 TEST(FitLine, ExactLine) {
     const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
     const std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};
@@ -80,6 +90,35 @@ TEST(FitLine, NoisyLineHasGoodR2) {
     EXPECT_NEAR(fit.slope, 3.0, 0.05);
     EXPECT_NEAR(fit.intercept, -2.0, 0.2);
     EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLine, ConstantXFallsBackToHorizontalMeanLine) {
+    // Regression: degenerate x used to abort. Documented fallback: the
+    // horizontal line through mean(y), explaining none of the y variance.
+    const std::vector<double> xs = {2.0, 2.0, 2.0, 2.0};
+    const std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};
+    const LineFit fit = fit_line(xs, ys);
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_DOUBLE_EQ(fit.intercept, 4.0);
+    EXPECT_DOUBLE_EQ(fit.r_squared, 0.0);
+}
+
+TEST(FitLine, AllPointsIdenticalIsExactFit) {
+    const std::vector<double> xs = {2.0, 2.0, 2.0};
+    const std::vector<double> ys = {3.0, 3.0, 3.0};
+    const LineFit fit = fit_line(xs, ys);
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_DOUBLE_EQ(fit.intercept, 3.0);
+    EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(FitLine, ConstantYIsExactHorizontalFit) {
+    const std::vector<double> xs = {0.0, 1.0, 2.0};
+    const std::vector<double> ys = {4.0, 4.0, 4.0};
+    const LineFit fit = fit_line(xs, ys);
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_DOUBLE_EQ(fit.intercept, 4.0);
+    EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
 }
 
 TEST(RunningStats, MatchesBatchComputation) {

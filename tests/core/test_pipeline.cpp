@@ -1,11 +1,17 @@
-// End-to-end pipeline tests on the paper's reference setup.
+// End-to-end pipeline tests on the paper's reference setup, including the
+// golden-signature cache semantics of set_golden.
 
 #include "core/pipeline.h"
 
+#include <memory>
+#include <string>
+
 #include <gtest/gtest.h>
 
+#include "core/golden_cache.h"
 #include "core/paper_setup.h"
 #include "monitor/table1.h"
+#include "spice/elements.h"
 
 namespace xysig::core {
 namespace {
@@ -88,6 +94,124 @@ TEST(Pipeline, CaptureProducesPaperStyleSignature) {
     EXPECT_GE(res.signature.size(), 10u);
     // 200 us at 10 MHz.
     EXPECT_EQ(res.signature.total_ticks(), 2000u);
+}
+
+TEST(GoldenCache, SetGoldenMatchesVirtualChronogramPathExactly) {
+    // set_golden now runs the compiled scratch path; the stored golden must
+    // still equal the virtual-path chronogram bit for bit (the kernels'
+    // identity guarantee carried to the golden).
+    SignaturePipeline pipe = make_pipeline();
+    const filter::BehaviouralCut golden(paper_biquad());
+    pipe.set_golden(golden);
+    const auto reference = pipe.chronogram(golden);
+    ASSERT_EQ(pipe.golden().events().size(), reference.events().size());
+    for (std::size_t i = 0; i < reference.events().size(); ++i) {
+        EXPECT_EQ(pipe.golden().events()[i].t, reference.events()[i].t);
+        EXPECT_EQ(pipe.golden().events()[i].code, reference.events()[i].code);
+    }
+    EXPECT_DOUBLE_EQ(pipe.golden().period(), reference.period());
+}
+
+TEST(GoldenCache, RebuildingPipelinesHitsTheCache) {
+    auto& cache = GoldenSignatureCache::instance();
+    cache.clear();
+
+    SignaturePipeline first = make_pipeline();
+    first.set_golden(filter::BehaviouralCut(paper_biquad()));
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    // Same (bank, stimulus, options, cut): the rebuild must not recompute.
+    SignaturePipeline second = make_pipeline();
+    second.set_golden(filter::BehaviouralCut(paper_biquad()));
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_GE(cache.hits(), 1u);
+    ASSERT_EQ(second.golden().events().size(), first.golden().events().size());
+    for (std::size_t i = 0; i < first.golden().events().size(); ++i)
+        EXPECT_EQ(second.golden().events()[i].t, first.golden().events()[i].t);
+
+    // A different golden cut is a different key, never a stale hit.
+    SignaturePipeline third = make_pipeline();
+    third.set_golden(filter::BehaviouralCut(paper_biquad().with_f0_shift(0.05)));
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(GoldenCache, CaptureGridSharesOneIdealGolden) {
+    // The ablation pattern: pipelines rebuilt per capture grid point share
+    // the (bank, stimulus, spp, cut) ideal chronogram; only quantisation
+    // differs. The cache must serve all of them from a single entry and the
+    // quantised goldens must match a cold computation.
+    auto& cache = GoldenSignatureCache::instance();
+    cache.clear();
+
+    const filter::BehaviouralCut golden(paper_biquad());
+    for (const double f_clk : {5e6, 10e6, 20e6}) {
+        PipelineOptions opts;
+        opts.quantise = true;
+        opts.capture.f_clk = f_clk;
+        opts.capture.counter_bits = 16;
+        SignaturePipeline pipe = make_pipeline(opts);
+        pipe.set_golden(golden);
+
+        cache.clear(); // force the next identical pipeline to recompute cold
+        SignaturePipeline cold = make_pipeline(opts);
+        cold.set_golden(golden);
+        ASSERT_EQ(pipe.golden().events().size(), cold.golden().events().size())
+            << "f_clk " << f_clk;
+        for (std::size_t i = 0; i < cold.golden().events().size(); ++i) {
+            EXPECT_EQ(pipe.golden().events()[i].t, cold.golden().events()[i].t);
+            EXPECT_EQ(pipe.golden().events()[i].code,
+                      cold.golden().events()[i].code);
+        }
+    }
+
+    cache.clear();
+    std::size_t computes = 0;
+    for (const double f_clk : {5e6, 10e6, 20e6}) {
+        PipelineOptions opts;
+        opts.quantise = true;
+        opts.capture.f_clk = f_clk;
+        opts.capture.counter_bits = 16;
+        SignaturePipeline pipe = make_pipeline(opts);
+        pipe.set_golden(golden);
+        computes = cache.misses();
+    }
+    EXPECT_EQ(computes, 1u); // one ideal golden served the whole grid
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(GoldenCache, KeyIsExactNotRounded) {
+    // Two cuts that format identically at display precision must still get
+    // distinct keys (the display string rounds; the key must not).
+    SignaturePipeline pipe = make_pipeline();
+    const filter::BehaviouralCut a(paper_biquad());
+    const filter::BehaviouralCut b(paper_biquad().with_f0_shift(1e-13));
+    const std::string ka = pipe.golden_cache_key(a);
+    const std::string kb = pipe.golden_cache_key(b);
+    ASSERT_FALSE(ka.empty());
+    ASSERT_FALSE(kb.empty());
+    EXPECT_NE(ka, kb);
+    EXPECT_EQ(a.description(), b.description());
+}
+
+TEST(GoldenCache, SpiceCutIsUncacheableButStillWorks) {
+    // SpiceCut has no exact fingerprint -> empty key -> computed uncached.
+    SignaturePipeline pipe = make_pipeline();
+    auto nl = std::make_unique<spice::Netlist>();
+    const auto in = nl->node("in");
+    const auto out = nl->node("out");
+    nl->add<spice::VoltageSource>("Vin", in, spice::kGround, 0.0);
+    nl->add<spice::Resistor>("R1", in, out, 1e3);
+    nl->add<spice::Capacitor>("C1", out, spice::kGround, 1e-9);
+    const filter::SpiceCut cut(std::move(nl), "Vin", "in", "out", 2);
+    EXPECT_TRUE(pipe.golden_cache_key(cut).empty());
+
+    auto& cache = GoldenSignatureCache::instance();
+    cache.clear();
+    pipe.set_golden(cut);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_TRUE(pipe.has_golden());
 }
 
 TEST(Pipeline, RejectsEmptyBankAndCoarseSampling) {

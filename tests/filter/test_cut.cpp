@@ -4,6 +4,8 @@
 #include "filter/cut.h"
 
 #include <cmath>
+#include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -74,6 +76,47 @@ TEST(SpiceCut, TowThomasMatchesBehaviouralBiquad) {
 TEST(SpiceCut, RejectsTooFewSettlePeriods) {
     TowThomasCircuit ckt = build_tow_thomas(TowThomasDesign{});
     EXPECT_THROW(SpiceCut(ckt.netlist, "Vin", "in", "lp", 0), ContractError);
+}
+
+TEST(SpiceCut, RespondIntoBitIdenticalToRespondAndRepeatable) {
+    TowThomasCircuit ckt = build_tow_thomas(
+        TowThomasDesign::from_biquad(core::paper_biquad().design(), 10e3));
+    const SpiceCut cut(ckt.netlist, ckt.input_source, ckt.input_node,
+                       ckt.lp_node, /*settle_periods=*/2);
+    const MultitoneWaveform stim = core::paper_stimulus();
+
+    const XyTrace tr = cut.respond(stim, 256);
+    std::vector<double> xs, ys;
+    double dt = 0.0;
+    // Twice through the scratch path: the reused internal transient buffer
+    // must not leak state between evaluations.
+    for (int round = 0; round < 2; ++round) {
+        cut.respond_into(stim, 256, xs, ys, dt);
+        ASSERT_EQ(xs.size(), 256u);
+        EXPECT_EQ(dt, tr.dt());
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            ASSERT_EQ(xs[i], tr.x()[i]) << "round " << round << " i " << i;
+            ASSERT_EQ(ys[i], tr.y()[i]) << "round " << round << " i " << i;
+        }
+    }
+}
+
+TEST(SpiceCut, OwningConstructorMatchesReferenceForm) {
+    TowThomasCircuit ckt = build_tow_thomas(
+        TowThomasDesign::from_biquad(core::paper_biquad().design(), 10e3));
+    const SpiceCut by_ref(ckt.netlist, ckt.input_source, ckt.input_node,
+                          ckt.lp_node, /*settle_periods=*/2);
+    const SpiceCut owning(
+        std::make_unique<spice::Netlist>(ckt.netlist.clone()), ckt.input_source,
+        ckt.input_node, ckt.lp_node, /*settle_periods=*/2);
+
+    const MultitoneWaveform stim = core::paper_stimulus();
+    const XyTrace a = by_ref.respond(stim, 256);
+    const XyTrace b = owning.respond(stim, 256);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(b.x()[i], a.x()[i]) << "i " << i;
+        ASSERT_EQ(b.y()[i], a.y()[i]) << "i " << i;
+    }
 }
 
 } // namespace
