@@ -88,24 +88,50 @@ std::vector<NetlistFault> enumerate_open_faults(
 spice::Netlist apply_fault(const spice::Netlist& nominal,
                            const NetlistFault& fault) {
     spice::Netlist nl = nominal.clone();
+    (void)inject_fault(nl, fault);
+    return nl;
+}
+
+FaultRepair inject_fault(spice::Netlist& netlist, const NetlistFault& fault) {
+    FaultRepair repair;
+    repair.kind = fault.kind;
     if (fault.kind == NetlistFault::Kind::bridging) {
         XYSIG_EXPECTS(fault.value > 0.0);
-        nl.add<spice::Resistor>("Rbridge_" + fault.node_a + "_" + fault.node_b,
-                                nl.find_node(fault.node_a),
-                                nl.find_node(fault.node_b), fault.value);
-        return nl;
+        // find_node() before add(): an unknown node must leave the netlist
+        // untouched instead of half-injecting.
+        const spice::NodeId a = netlist.find_node(fault.node_a);
+        const spice::NodeId b = netlist.find_node(fault.node_b);
+        repair.bridge_device = "Rbridge_" + fault.node_a + "_" + fault.node_b;
+        netlist.add<spice::Resistor>(repair.bridge_device, a, b, fault.value);
+        return repair;
     }
     XYSIG_EXPECTS(fault.value > 1.0);
-    if (auto* r = nl.try_get<spice::Resistor>(fault.device)) {
-        r->set_resistance(r->resistance() * fault.value);
-        return nl;
+    repair.faulted_device = fault.device;
+    if (auto* r = netlist.try_get<spice::Resistor>(fault.device)) {
+        repair.original_value = r->resistance();
+        r->set_resistance(repair.original_value * fault.value);
+        return repair;
     }
-    if (auto* c = nl.try_get<spice::Capacitor>(fault.device)) {
-        c->set_capacitance(c->capacitance() / fault.value);
-        return nl;
+    if (auto* c = netlist.try_get<spice::Capacitor>(fault.device)) {
+        repair.original_value = c->capacitance();
+        c->set_capacitance(repair.original_value / fault.value);
+        return repair;
     }
-    throw InvalidInput("apply_fault: open fault target '" + fault.device +
+    throw InvalidInput("inject_fault: open fault target '" + fault.device +
                        "' is not a Resistor or Capacitor");
+}
+
+void repair_fault(spice::Netlist& netlist, const FaultRepair& repair) {
+    if (repair.kind == NetlistFault::Kind::bridging) {
+        netlist.remove_device(repair.bridge_device);
+        return;
+    }
+    if (auto* r = netlist.try_get<spice::Resistor>(repair.faulted_device)) {
+        r->set_resistance(repair.original_value);
+        return;
+    }
+    netlist.get<spice::Capacitor>(repair.faulted_device)
+        .set_capacitance(repair.original_value);
 }
 
 } // namespace xysig::capture

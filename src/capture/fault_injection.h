@@ -84,6 +84,48 @@ struct FaultUniverseOptions {
 [[nodiscard]] spice::Netlist apply_fault(const spice::Netlist& nominal,
                                          const NetlistFault& fault);
 
+/// Everything needed to undo one inject_fault() exactly: the injected
+/// bridge device's name, or the faulted component's exact pre-fault value.
+struct FaultRepair {
+    NetlistFault::Kind kind = NetlistFault::Kind::bridging;
+    std::string bridge_device;   ///< bridging: name of the injected resistor
+    std::string faulted_device;  ///< open: name of the scaled R / C
+    double original_value = 0.0; ///< open: exact pre-fault resistance/capacitance
+};
+
+/// Applies one fault to `netlist` IN PLACE and returns the undo record.
+/// Injecting then repairing leaves the netlist structurally and numerically
+/// identical to before (the open repair restores the exact stored value, and
+/// the bridge repair removes the appended device), so a faulty netlist built
+/// by inject_fault() simulates bit-identically to one built by apply_fault()
+/// on a fresh clone. This inject/repair pair is what lets a sweep-service
+/// worker reuse ONE netlist clone across an entire fault universe instead of
+/// cloning per fault. Throws InvalidInput on unknown nodes/devices, leaving
+/// the netlist untouched.
+[[nodiscard]] FaultRepair inject_fault(spice::Netlist& netlist,
+                                       const NetlistFault& fault);
+
+/// Undoes one inject_fault(). Repairs must be applied in reverse injection
+/// order when several faults are stacked (the usual case is exactly one).
+void repair_fault(spice::Netlist& netlist, const FaultRepair& repair);
+
+/// RAII inject/repair: injects in the constructor, repairs in the
+/// destructor, so a worker loop that throws mid-evaluation (e.g. a
+/// non-convergent member) still hands the next fault a pristine netlist.
+class ScopedFaultInjection {
+public:
+    ScopedFaultInjection(spice::Netlist& netlist, const NetlistFault& fault)
+        : netlist_(&netlist), repair_(inject_fault(netlist, fault)) {}
+    ~ScopedFaultInjection() { repair_fault(*netlist_, repair_); }
+
+    ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+    ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+private:
+    spice::Netlist* netlist_;
+    FaultRepair repair_;
+};
+
 } // namespace xysig::capture
 
 #endif // XYSIG_CAPTURE_FAULT_INJECTION_H

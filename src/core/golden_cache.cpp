@@ -1,5 +1,7 @@
 #include "core/golden_cache.h"
 
+#include "common/contracts.h"
+
 namespace xysig::core {
 
 GoldenSignatureCache& GoldenSignatureCache::instance() {
@@ -15,17 +17,44 @@ std::shared_ptr<const capture::Chronogram> GoldenSignatureCache::find_or_compute
         const auto it = map_.find(key);
         if (it != map_.end()) {
             ++hits_;
-            return it->second;
+            lru_.splice(lru_.begin(), lru_, it->second); // refresh recency
+            return it->second->second;
         }
     }
     auto computed = std::make_shared<const capture::Chronogram>(compute());
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto [it, inserted] = map_.try_emplace(key, std::move(computed));
-    if (inserted)
-        ++misses_;
-    else
-        ++hits_; // lost a benign race; the first insertion is authoritative
-    return it->second;
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+        // Lost a benign race; the first insertion is authoritative.
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->second;
+    }
+    ++misses_;
+    lru_.emplace_front(key, std::move(computed));
+    map_.emplace(key, lru_.begin());
+    evict_to_capacity_locked();
+    return lru_.front().second;
+}
+
+void GoldenSignatureCache::evict_to_capacity_locked() {
+    while (map_.size() > capacity_) {
+        map_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+void GoldenSignatureCache::set_capacity(std::size_t capacity) {
+    XYSIG_EXPECTS(capacity >= 1);
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity;
+    evict_to_capacity_locked();
+}
+
+std::size_t GoldenSignatureCache::capacity() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
 }
 
 std::size_t GoldenSignatureCache::size() const {
@@ -43,11 +72,18 @@ std::size_t GoldenSignatureCache::misses() const {
     return misses_;
 }
 
+std::size_t GoldenSignatureCache::evictions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
 void GoldenSignatureCache::clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     map_.clear();
+    lru_.clear();
     hits_ = 0;
     misses_ = 0;
+    evictions_ = 0;
 }
 
 } // namespace xysig::core

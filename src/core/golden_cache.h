@@ -15,12 +15,14 @@
 /// options, is applied per pipeline after lookup.
 ///
 /// Keys are exact (hexfloat-formatted values): a cache hit is bit-identical
-/// to recomputing. Entries are never evicted — goldens are tiny (tens of
-/// events) and the universe of distinct keys in one process is bounded by
-/// the distinct experimental setups, not by sweep size.
+/// to recomputing. The cache is bounded: a long-lived sweep service sees an
+/// unbounded stream of distinct fingerprints (every job may carry a new
+/// golden CUT), so entries beyond `capacity` are evicted least-recently-used
+/// — an eviction only costs one recomputation if the key ever returns.
 
 #include <cstddef>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -30,9 +32,15 @@
 
 namespace xysig::core {
 
-/// Thread-safe find-or-compute map from exact keys to golden chronograms.
+/// Thread-safe, LRU-bounded find-or-compute map from exact keys to golden
+/// chronograms.
 class GoldenSignatureCache {
 public:
+    /// Default entry bound: goldens are tiny (tens of events), so this is
+    /// sized for "every concurrently useful experimental setup" rather than
+    /// for memory pressure.
+    static constexpr std::size_t kDefaultCapacity = 1024;
+
     /// The process-wide instance used by SignaturePipeline::set_golden.
     [[nodiscard]] static GoldenSignatureCache& instance();
 
@@ -40,25 +48,45 @@ public:
     /// on a miss. `compute` runs outside the lock (golden computation can be
     /// slow); if two threads race on the same missing key both compute, the
     /// first insertion wins and both return the same stored object — with
-    /// exact keys the duplicates are bit-identical anyway.
+    /// exact keys the duplicates are bit-identical anyway. An insertion that
+    /// grows the cache past capacity() evicts the least-recently-used entry
+    /// (hits refresh recency); returned shared_ptrs keep evicted chronograms
+    /// alive for callers that still hold them.
     [[nodiscard]] std::shared_ptr<const capture::Chronogram> find_or_compute(
         const std::string& key,
         const std::function<capture::Chronogram()>& compute);
 
-    /// Cache statistics (for tests and capacity reports).
+    /// Maximum number of retained entries (>= 1). Shrinking below the
+    /// current size evicts LRU entries immediately.
+    void set_capacity(std::size_t capacity);
+    [[nodiscard]] std::size_t capacity() const;
+
+    /// Cache statistics (for tests, the sweep service's stats report, and
+    /// capacity tuning).
     [[nodiscard]] std::size_t size() const;
     [[nodiscard]] std::size_t hits() const;
     [[nodiscard]] std::size_t misses() const;
+    [[nodiscard]] std::size_t evictions() const;
 
-    /// Drops every entry and resets the counters (test isolation).
+    /// Drops every entry and resets the counters (test isolation). The
+    /// configured capacity is kept.
     void clear();
 
 private:
+    /// MRU-first recency list; the map points into it.
+    using LruList =
+        std::list<std::pair<std::string,
+                            std::shared_ptr<const capture::Chronogram>>>;
+
+    void evict_to_capacity_locked();
+
     mutable std::mutex mutex_;
-    std::unordered_map<std::string, std::shared_ptr<const capture::Chronogram>>
-        map_;
+    LruList lru_;
+    std::unordered_map<std::string, LruList::iterator> map_;
+    std::size_t capacity_ = kDefaultCapacity;
     std::size_t hits_ = 0;
     std::size_t misses_ = 0;
+    std::size_t evictions_ = 0;
 };
 
 } // namespace xysig::core

@@ -122,11 +122,20 @@ capture::Chronogram SignaturePipeline::ideal_chronogram(const filter::Cut& cut,
 
 double SignaturePipeline::ndf_of(const filter::Cut& cut, NdfScratch& scratch,
                                  Rng* noise_rng) const {
-    const capture::Chronogram ideal = ideal_chronogram(cut, scratch, noise_rng);
-    if (!options_.quantise)
-        return ndf(ideal, golden());
-    const capture::CaptureUnit unit(options_.capture);
-    return ndf(unit.capture(ideal).signature.to_chronogram(), golden());
+    // One copy of the observed-chronogram -> NDF sequence: delegating keeps
+    // the "bit-identical to evaluate()" contract true by construction.
+    return evaluate(cut, scratch, noise_rng).ndf;
+}
+
+SignaturePipeline::CutEvaluation SignaturePipeline::evaluate(
+    const filter::Cut& cut, NdfScratch& scratch, Rng* noise_rng) const {
+    capture::Chronogram observed = ideal_chronogram(cut, scratch, noise_rng);
+    if (options_.quantise) {
+        const capture::CaptureUnit unit(options_.capture);
+        observed = unit.capture(observed).signature.to_chronogram();
+    }
+    const double value = ndf(observed, golden());
+    return {value, std::move(observed)};
 }
 
 } // namespace xysig::core

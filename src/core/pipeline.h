@@ -103,6 +103,18 @@ public:
     [[nodiscard]] double ndf_of(const filter::Cut& cut, NdfScratch& scratch,
                                 Rng* noise_rng = nullptr) const;
 
+    /// One member's full evaluation: the NDF plus the observed chronogram it
+    /// was computed against (capture-quantised when options().quantise is
+    /// set). The NDF is bit-identical to ndf_of(cut, scratch, noise_rng) —
+    /// this is what the sweep service streams as (member_id, ndf, signature).
+    struct CutEvaluation {
+        double ndf;
+        capture::Chronogram observed;
+    };
+    [[nodiscard]] CutEvaluation evaluate(const filter::Cut& cut,
+                                         NdfScratch& scratch,
+                                         Rng* noise_rng = nullptr) const;
+
     /// The lowered form of bank() the compiled path zones with.
     [[nodiscard]] const kernels::CompiledMonitorBank& compiled_bank() const noexcept {
         return compiled_bank_;

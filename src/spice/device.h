@@ -100,6 +100,13 @@ public:
     [[nodiscard]] virtual std::vector<double> save_state() const { return {}; }
     virtual void restore_state(std::span<const double> state);
 
+    /// Buffer-reusing snapshot: writes the same values save_state() returns
+    /// into `out` (resized in place). The adaptive engine snapshots every
+    /// device on every attempted step, so stateful devices override this to
+    /// avoid one vector allocation per device per step; the default forwards
+    /// to save_state() and copies.
+    virtual void save_state_into(std::vector<double>& out) const;
+
 protected:
     /// Copyable by derived clone() implementations only.
     Device(const Device&) = default;

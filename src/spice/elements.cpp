@@ -86,6 +86,12 @@ void Capacitor::step_accepted(std::span<const double> x, double /*time*/, double
 
 std::vector<double> Capacitor::save_state() const { return {v_prev_, i_prev_}; }
 
+void Capacitor::save_state_into(std::vector<double>& out) const {
+    out.resize(2);
+    out[0] = v_prev_;
+    out[1] = i_prev_;
+}
+
 void Capacitor::restore_state(std::span<const double> state) {
     XYSIG_EXPECTS(state.size() == 2);
     v_prev_ = state[0];
@@ -151,6 +157,12 @@ void Inductor::step_accepted(std::span<const double> x, double /*time*/, double 
 }
 
 std::vector<double> Inductor::save_state() const { return {i_prev_, v_prev_}; }
+
+void Inductor::save_state_into(std::vector<double>& out) const {
+    out.resize(2);
+    out[0] = i_prev_;
+    out[1] = v_prev_;
+}
 
 void Inductor::restore_state(std::span<const double> state) {
     XYSIG_EXPECTS(state.size() == 2);

@@ -42,6 +42,7 @@ public:
                        Integrator integrator) override;
     [[nodiscard]] std::vector<double> save_state() const override;
     void restore_state(std::span<const double> state) override;
+    void save_state_into(std::vector<double>& out) const override;
 
     [[nodiscard]] double capacitance() const noexcept { return capacitance_; }
     void set_capacitance(double c);
@@ -66,6 +67,7 @@ public:
                        Integrator integrator) override;
     [[nodiscard]] std::vector<double> save_state() const override;
     void restore_state(std::span<const double> state) override;
+    void save_state_into(std::vector<double>& out) const override;
 
     [[nodiscard]] double inductance() const noexcept { return inductance_; }
 

@@ -1,11 +1,17 @@
 #include "spice/netlist.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/contracts.h"
 #include "common/strings.h"
 
 namespace xysig::spice {
+
+namespace {
+/// See Netlist::clone_count(): the deep-copy probe for clone-budget tests.
+std::atomic<std::uint64_t> g_clone_count{0};
+} // namespace
 
 Netlist::Netlist() {
     names_.push_back("0");
@@ -21,7 +27,12 @@ Netlist Netlist::clone() const {
     for (const auto& dev : devices_)
         out.devices_.push_back(dev->clone());
     out.device_index_ = device_index_;
+    g_clone_count.fetch_add(1, std::memory_order_relaxed);
     return out;
+}
+
+std::uint64_t Netlist::clone_count() noexcept {
+    return g_clone_count.load(std::memory_order_relaxed);
 }
 
 NodeId Netlist::node(const std::string& name) {
@@ -56,6 +67,19 @@ void Netlist::register_device(std::unique_ptr<Device> dev) {
     if (!inserted)
         throw InvalidInput("Netlist: duplicate device name '" + dev->name() + "'");
     devices_.push_back(std::move(dev));
+}
+
+void Netlist::remove_device(const std::string& name) {
+    const auto it = device_index_.find(name);
+    if (it == device_index_.end())
+        throw InvalidInput("Netlist: no device named '" + name + "' to remove");
+    const std::size_t index = it->second;
+    device_index_.erase(it);
+    devices_.erase(devices_.begin() + static_cast<std::ptrdiff_t>(index));
+    for (auto& [unused, idx] : device_index_) {
+        if (idx > index)
+            --idx;
+    }
 }
 
 Device* Netlist::find_device(const std::string& name) const {

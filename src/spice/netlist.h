@@ -16,6 +16,7 @@
 ///   auto tran = spice::run_transient(nl, {.t_stop = 1e-3, .dt = 1e-7});
 /// \endcode
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -41,6 +42,12 @@ public:
     /// transient state) and the lookup indices. The clone shares no mutable
     /// state with the original — simulating one never affects the other.
     [[nodiscard]] Netlist clone() const;
+
+    /// Process-wide count of clone() calls since start-up. This is the
+    /// clone-budget probe the sweep service's tests rely on: a sharded
+    /// sweep must clone once per worker, not once per fault, and that
+    /// invariant is only checkable against the true deep-copy count.
+    [[nodiscard]] static std::uint64_t clone_count() noexcept;
 
     /// Returns the id for a named node, creating it on first use.
     /// The name "0" and "gnd" map to ground.
@@ -89,6 +96,12 @@ public:
     [[nodiscard]] T* try_get(const std::string& name) const {
         return dynamic_cast<T*>(find_device(name));
     }
+
+    /// Removes a device by name (throws InvalidInput when absent). The
+    /// repair half of transient fault injection: removing the injected
+    /// bridge resistor restores the netlist to its pre-fault structure, so
+    /// one worker clone can be reused across a whole fault universe.
+    void remove_device(const std::string& name);
 
     /// Total unknowns: (node_count-1) node voltages + extra branch variables.
     /// Also (re)assigns each device's extra-variable base index; analyses

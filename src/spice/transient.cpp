@@ -90,13 +90,16 @@ SampledSignal TransientResult::signal(const std::string& node) const {
 
 namespace {
 
-/// Snapshot of every device's reactive state.
-std::vector<std::vector<double>> save_all_states(const Netlist& nl) {
-    std::vector<std::vector<double>> states;
-    states.reserve(nl.devices().size());
-    for (const auto& dev : nl.devices())
-        states.push_back(dev->save_state());
-    return states;
+/// Snapshot of every device's reactive state into pooled buffers: the
+/// adaptive engine calls this on every attempted step, so the outer vector
+/// and each device's inner vector are reused across the whole run instead
+/// of being reallocated per step (ROADMAP: adaptive-transient batching).
+void save_all_states_into(const Netlist& nl,
+                          std::vector<std::vector<double>>& states) {
+    const auto devs = nl.devices();
+    states.resize(devs.size());
+    for (std::size_t i = 0; i < devs.size(); ++i)
+        devs[i]->save_state_into(states[i]);
 }
 
 void restore_all_states(const Netlist& nl,
@@ -169,28 +172,50 @@ void run_transient_into(const Netlist& nl, const TransientOptions& opts,
 
     // Adaptive: step doubling. Take one full step and two half steps from the
     // same state; accept the half-step solution when they agree within tol.
+    //
+    // `dt` is the step-size controller's (unclamped) step; each iteration
+    // attempts h = min(dt, time remaining). Keeping the two separate matters
+    // at the end of the run: the final attempt is clamped to the sliver of
+    // time left, and a rejection there must not trip the dt_min underflow
+    // abort — the controller's own step is still healthy, only the clamp
+    // made the attempt tiny. A rejected clamped attempt still halves the
+    // next attempt (progress stays guaranteed); once the retry is no longer
+    // clamp-limited, the dt_min guard applies as usual.
     double t = opts.t_start;
     double dt = opts.dt;
     const double dt_max = (opts.dt_max > 0.0) ? opts.dt_max : 10.0 * opts.dt;
     bool first = true;
     const std::size_t n_node_vars = nl.node_count() - 1;
+    // Termination epsilon relative to the span as well as the stop time:
+    // with t_stop == 0 (runs ending at the time origin) a purely relative
+    // 1e-15 * t_stop degenerates to an exact-equality bound that roundoff
+    // in `t += h` may never satisfy.
+    const double t_end_eps =
+        1e-15 * std::max(std::abs(opts.t_stop), opts.t_stop - opts.t_start);
 
-    while (t < opts.t_stop - 1e-15 * opts.t_stop) {
-        dt = std::min(dt, opts.t_stop - t);
+    // Snapshot / iterate buffers pooled across the whole run: the adaptive
+    // loop used to allocate a state table and two solution vectors per
+    // attempted step.
+    std::vector<std::vector<double>> states;
+    std::vector<double> x_full;
+    std::vector<double> x_half;
+
+    while (t < opts.t_stop - t_end_eps) {
+        const double h = std::min(dt, opts.t_stop - t);
         const Integrator integ = first ? Integrator::backward_euler : opts.integrator;
 
-        const auto states = save_all_states(nl);
-        std::vector<double> x_full = x;
-        const int it_full = advance(nl, x_full, n, opts, t + dt, dt, integ);
+        save_all_states_into(nl, states);
+        x_full = x;
+        const int it_full = advance(nl, x_full, n, opts, t + h, h, integ);
 
-        std::vector<double> x_half = x;
+        x_half = x;
         int it_half = -1;
         int it_half2 = -1;
         if (it_full >= 0) {
-            it_half = advance(nl, x_half, n, opts, t + 0.5 * dt, 0.5 * dt, integ);
+            it_half = advance(nl, x_half, n, opts, t + 0.5 * h, 0.5 * h, integ);
             if (it_half >= 0) {
-                accept(nl, x_half, t + 0.5 * dt, 0.5 * dt, integ);
-                it_half2 = advance(nl, x_half, n, opts, t + dt, 0.5 * dt, integ);
+                accept(nl, x_half, t + 0.5 * h, 0.5 * h, integ);
+                it_half2 = advance(nl, x_half, n, opts, t + h, 0.5 * h, integ);
             }
         }
 
@@ -204,10 +229,10 @@ void run_transient_into(const Netlist& nl, const TransientOptions& opts,
 
         if (err <= opts.lte_tol) {
             // Keep the more accurate half-step trajectory (device states are
-            // already at t + dt/2; advance them through the second half).
-            accept(nl, x_half, t + dt, 0.5 * dt, integ);
+            // already at t + h/2; advance them through the second half).
+            accept(nl, x_half, t + h, 0.5 * h, integ);
             x = x_half;
-            t += dt;
+            t += h;
             result.total_newton_iterations +=
                 std::max(it_full, 0) + std::max(it_half, 0) + std::max(it_half2, 0);
             result.append(t, x);
@@ -217,8 +242,9 @@ void run_transient_into(const Netlist& nl, const TransientOptions& opts,
         } else {
             restore_all_states(nl, states);
             ++result.rejected_steps;
-            dt *= 0.5;
-            if (dt < opts.dt_min)
+            const bool clamp_limited = h < dt;
+            dt = 0.5 * h;
+            if (!clamp_limited && dt < opts.dt_min)
                 throw NumericError("run_transient: adaptive step underflow at t = " +
                                    std::to_string(t));
         }

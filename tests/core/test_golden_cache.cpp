@@ -1,0 +1,101 @@
+// GoldenSignatureCache bounds: a long-lived sweep service sees an unbounded
+// stream of distinct golden fingerprints, so the cache must evict (LRU)
+// instead of leaking one chronogram per fingerprint forever.
+
+#include "core/golden_cache.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace xysig::core {
+namespace {
+
+/// Distinct, recognisable chronogram per key.
+capture::Chronogram make_chronogram(unsigned code) {
+    return capture::Chronogram(1.0, 6, {{0.0, code}});
+}
+
+TEST(GoldenCacheLru, EvictsLeastRecentlyUsedBeyondCapacity) {
+    GoldenSignatureCache cache;
+    cache.set_capacity(2);
+
+    int computes = 0;
+    const auto get = [&](const std::string& key, unsigned code) {
+        return cache.find_or_compute(key, [&] {
+            ++computes;
+            return make_chronogram(code);
+        });
+    };
+
+    (void)get("a", 1);
+    (void)get("b", 2);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(computes, 2);
+    EXPECT_EQ(cache.evictions(), 0u);
+
+    // Touch "a" so "b" becomes the LRU entry, then insert "c".
+    EXPECT_EQ(get("a", 1)->events()[0].code, 1u);
+    (void)get("c", 3);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+
+    // "a" and "c" hit; "b" was evicted and recomputes.
+    EXPECT_EQ(computes, 3);
+    (void)get("a", 1);
+    (void)get("c", 3);
+    EXPECT_EQ(computes, 3);
+    EXPECT_EQ(get("b", 2)->events()[0].code, 2u);
+    EXPECT_EQ(computes, 4);
+    EXPECT_EQ(cache.evictions(), 2u); // inserting "b" evicted the LRU ("a")
+}
+
+TEST(GoldenCacheLru, EvictedEntriesStayAliveForHolders) {
+    GoldenSignatureCache cache;
+    cache.set_capacity(1);
+    const auto held =
+        cache.find_or_compute("x", [] { return make_chronogram(7); });
+    (void)cache.find_or_compute("y", [] { return make_chronogram(8); });
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    // The shared_ptr returned before eviction is still valid.
+    EXPECT_EQ(held->events()[0].code, 7u);
+}
+
+TEST(GoldenCacheLru, ShrinkingCapacityEvictsImmediately) {
+    GoldenSignatureCache cache;
+    cache.set_capacity(8);
+    for (unsigned i = 0; i < 5; ++i)
+        (void)cache.find_or_compute("k" + std::to_string(i),
+                                    [&] { return make_chronogram(i); });
+    EXPECT_EQ(cache.size(), 5u);
+    cache.set_capacity(2);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 3u);
+    EXPECT_EQ(cache.capacity(), 2u);
+}
+
+TEST(GoldenCacheLru, StatsAndClear) {
+    GoldenSignatureCache cache;
+    cache.set_capacity(4);
+    (void)cache.find_or_compute("k", [] { return make_chronogram(1); });
+    (void)cache.find_or_compute("k", [] { return make_chronogram(1); });
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_EQ(cache.capacity(), 4u); // clear keeps the configured bound
+}
+
+TEST(GoldenCacheLru, ProcessWideInstanceIsBounded) {
+    // The instance used by SignaturePipeline::set_golden must never be
+    // unbounded (that is the sweep-service leak this PR closes).
+    EXPECT_GE(GoldenSignatureCache::instance().capacity(), 1u);
+    EXPECT_LE(GoldenSignatureCache::instance().capacity(), 1u << 20);
+}
+
+} // namespace
+} // namespace xysig::core

@@ -1,0 +1,87 @@
+// Minimal JSON layer of the sweep server's NDJSON wire format.
+
+#include "server/json.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace xysig::server {
+namespace {
+
+TEST(Json, ParsesScalarsAndContainers) {
+    const JsonValue v = JsonValue::parse(
+        R"({"a":1.5,"b":"text","c":[1,2,3],"d":{"e":true,"f":null},"g":-2e3})");
+    EXPECT_DOUBLE_EQ(v.at("a").as_number(), 1.5);
+    EXPECT_EQ(v.at("b").as_string(), "text");
+    ASSERT_EQ(v.at("c").as_array().size(), 3u);
+    EXPECT_DOUBLE_EQ(v.at("c").as_array()[2].as_number(), 3.0);
+    EXPECT_TRUE(v.at("d").at("e").as_bool());
+    EXPECT_TRUE(v.at("d").at("f").is_null());
+    EXPECT_DOUBLE_EQ(v.at("g").as_number(), -2000.0);
+}
+
+TEST(Json, ObjectHelpers) {
+    const JsonValue v = JsonValue::parse(R"({"n":4,"s":"x","b":false})");
+    EXPECT_TRUE(v.has("n"));
+    EXPECT_FALSE(v.has("missing"));
+    EXPECT_DOUBLE_EQ(v.number_or("n", -1.0), 4.0);
+    EXPECT_DOUBLE_EQ(v.number_or("missing", -1.0), -1.0);
+    EXPECT_EQ(v.string_or("s", "d"), "x");
+    EXPECT_EQ(v.string_or("missing", "d"), "d");
+    EXPECT_FALSE(v.bool_or("b", true));
+    EXPECT_TRUE(v.bool_or("missing", true));
+    EXPECT_THROW((void)v.at("missing"), InvalidInput);
+}
+
+TEST(Json, StringEscapes) {
+    const JsonValue v = JsonValue::parse(R"({"s":"a\"b\\c\n\tA"})");
+    EXPECT_EQ(v.at("s").as_string(), "a\"b\\c\n\tA");
+    // Round trip.
+    const JsonValue again = JsonValue::parse(v.dump());
+    EXPECT_EQ(again.at("s").as_string(), v.at("s").as_string());
+}
+
+TEST(Json, DumpIsDeterministicAndRoundTrips) {
+    const char* text = R"({"z":1,"a":[true,null,"s"],"m":{"k":0.125}})";
+    const JsonValue v = JsonValue::parse(text);
+    const std::string dumped = v.dump();
+    // Sorted keys, compact form.
+    EXPECT_EQ(dumped, R"({"a":[true,null,"s"],"m":{"k":0.125},"z":1})");
+    EXPECT_EQ(JsonValue::parse(dumped).dump(), dumped);
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+    for (const double x : {0.1, 1e300, -4.9e-324, 12345.6789, 0.0}) {
+        const std::string dumped = JsonValue(x).dump();
+        EXPECT_EQ(JsonValue::parse(dumped).as_number(), x) << dumped;
+    }
+}
+
+TEST(Json, NonFiniteNumbersSerialiseAsNull) {
+    EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).dump(),
+              "null");
+    EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+}
+
+TEST(Json, RejectsMalformedInput) {
+    EXPECT_THROW((void)JsonValue::parse(""), InvalidInput);
+    EXPECT_THROW((void)JsonValue::parse("{"), InvalidInput);
+    EXPECT_THROW((void)JsonValue::parse("{\"a\":}"), InvalidInput);
+    EXPECT_THROW((void)JsonValue::parse("[1,2,]"), InvalidInput);
+    EXPECT_THROW((void)JsonValue::parse("tru"), InvalidInput);
+    EXPECT_THROW((void)JsonValue::parse("{} extra"), InvalidInput);
+    EXPECT_THROW((void)JsonValue::parse("\"unterminated"), InvalidInput);
+    EXPECT_THROW((void)JsonValue::parse("{\"a\":1}{}"), InvalidInput);
+}
+
+TEST(Json, KindMismatchThrows) {
+    const JsonValue v = JsonValue::parse("[1]");
+    EXPECT_THROW((void)v.as_object(), InvalidInput);
+    EXPECT_THROW((void)v.as_number(), InvalidInput);
+    EXPECT_THROW((void)v.as_array()[0].as_string(), InvalidInput);
+}
+
+} // namespace
+} // namespace xysig::server

@@ -1,0 +1,299 @@
+// SweepService guarantees: bit-identity to the serial/batch NDF paths at
+// any (shard size x worker count), one netlist clone per worker on SPICE
+// universes (pinned through the Netlist::clone_count() probe), in-order
+// streaming, mid-job cancellation, and golden-cache reuse across jobs.
+
+#include "server/sweep_service.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "capture/fault_injection.h"
+#include "core/batch_ndf.h"
+#include "core/golden_cache.h"
+#include "core/paper_setup.h"
+#include "filter/tow_thomas.h"
+#include "monitor/table1.h"
+
+namespace xysig::server {
+namespace {
+
+bool same_bits(double a, double b) {
+    return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+core::SignaturePipeline make_pipeline(std::size_t samples_per_period = 256) {
+    core::PipelineOptions opts;
+    opts.samples_per_period = samples_per_period;
+    return core::SignaturePipeline(monitor::build_table1_bank(),
+                                   core::paper_stimulus(), opts);
+}
+
+std::vector<double> grid(double from, double to, std::size_t count) {
+    std::vector<double> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(from + (to - from) * static_cast<double>(i) /
+                                 static_cast<double>(count - 1));
+    return out;
+}
+
+TEST(SweepService, DeviationJobBitIdenticalToBatchAtAnyShardAndWorkerCount) {
+    // >= 10^3-member universe, >= 3 (shard size x worker count) combos: the
+    // acceptance gate of the sharded service.
+    const std::vector<double> deviations = grid(-20.0, 20.0, 1200);
+    const filter::Biquad nominal = core::paper_biquad();
+
+    core::SignaturePipeline reference_pipe = make_pipeline();
+    reference_pipe.set_golden(filter::BehaviouralCut(nominal));
+    const core::BatchNdfEvaluator batch(reference_pipe, {.threads = 2});
+    const std::vector<double> reference =
+        batch.evaluate_deviations(nominal, deviations);
+
+    struct Combo {
+        std::size_t shard_size;
+        unsigned workers;
+    };
+    for (const Combo combo : {Combo{1, 1}, Combo{7, 4}, Combo{64, 3},
+                              Combo{1200, 2}, Combo{500, 8}}) {
+        SweepServiceOptions sopts;
+        sopts.workers = combo.workers;
+        sopts.shard_size = combo.shard_size;
+        SweepService service(make_pipeline(), sopts);
+        SweepJob job = SweepJob::deviation_grid(nominal, deviations);
+
+        std::vector<double> streamed;
+        std::vector<std::size_t> order;
+        const JobSummary summary = service.run(job, [&](const SweepResult& r) {
+            order.push_back(r.member_id);
+            streamed.push_back(r.ndf);
+        });
+
+        ASSERT_EQ(streamed.size(), reference.size())
+            << "shard " << combo.shard_size << " workers " << combo.workers;
+        for (std::size_t i = 0; i < reference.size(); ++i)
+            ASSERT_TRUE(same_bits(streamed[i], reference[i]))
+                << "member " << i << " shard " << combo.shard_size
+                << " workers " << combo.workers;
+        // In-order, gap-free streaming on an uncancelled job.
+        for (std::size_t i = 0; i < order.size(); ++i)
+            ASSERT_EQ(order[i], i);
+        EXPECT_FALSE(summary.cancelled);
+        EXPECT_EQ(summary.members_done, deviations.size());
+        EXPECT_EQ(summary.shards_done, summary.shards_total);
+        EXPECT_EQ(summary.netlist_clones, 0u); // behavioural: no SPICE clones
+        EXPECT_EQ(summary.shard_timings.size(), summary.shards_total);
+    }
+}
+
+TEST(SweepService, StreamsSignaturesAndLabels) {
+    SweepService service(make_pipeline(), {.workers = 2, .shard_size = 2});
+    const SweepJob job = SweepJob::deviation_grid(
+        core::paper_biquad(), {-10.0, 10.0}, core::SweptParameter::f0);
+    std::vector<SweepResult> results;
+    (void)service.run(job,
+                      [&](const SweepResult& r) { results.push_back(r); });
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].label, "dev(f0,-10%)");
+    EXPECT_EQ(results[1].label, "dev(f0,10%)");
+    for (const SweepResult& r : results) {
+        ASSERT_TRUE(r.signature.has_value());
+        EXPECT_GE(r.signature->zone_visits(), 2u);
+        EXPECT_TRUE(std::isfinite(r.ndf));
+        EXPECT_GT(r.ndf, 0.0); // +/-10% f0 is detectable (paper Fig. 8)
+    }
+}
+
+TEST(SweepService, ExplicitCutListMatchesBatchEvaluate) {
+    const filter::Biquad nominal = core::paper_biquad();
+    std::vector<filter::BehaviouralCut> cuts;
+    for (const double dev : grid(-15.0, 15.0, 64))
+        cuts.emplace_back(nominal.with_q_shift(dev / 100.0));
+    std::vector<const filter::Cut*> raw;
+    for (const auto& c : cuts)
+        raw.push_back(&c);
+    const filter::BehaviouralCut golden(nominal);
+
+    core::SignaturePipeline reference_pipe = make_pipeline();
+    reference_pipe.set_golden(golden);
+    const core::BatchNdfEvaluator batch(reference_pipe, {.threads = 2});
+    const std::vector<double> reference = batch.evaluate(raw);
+
+    SweepService service(make_pipeline(), {.workers = 3, .shard_size = 5});
+    const SweepJob job = SweepJob::from_cuts(raw, &golden);
+    std::vector<double> streamed;
+    (void)service.run(job,
+                      [&](const SweepResult& r) { streamed.push_back(r.ndf); });
+    ASSERT_EQ(streamed.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+        EXPECT_TRUE(same_bits(streamed[i], reference[i])) << "member " << i;
+}
+
+TEST(SweepService, SpiceUniverseOneClonePerWorkerAndBitIdenticalToBatch) {
+    const auto circuit = filter::build_tow_thomas(
+        filter::TowThomasDesign::from_biquad(core::paper_biquad().design(), 10e3));
+    const core::SpiceObservation obs{circuit.input_source, circuit.input_node,
+                                     circuit.lp_node, /*settle_periods=*/2};
+    capture::FaultUniverseOptions fopts;
+    auto faults = capture::enumerate_bridging_faults(circuit.netlist, fopts);
+    const auto opens = capture::enumerate_open_faults(circuit.netlist, fopts);
+    faults.insert(faults.end(), opens.begin(), opens.end());
+
+    // Reference: the PR-3 batch engine (one deep clone PER FAULT).
+    core::SignaturePipeline reference_pipe = make_pipeline();
+    reference_pipe.set_golden(filter::SpiceCut(
+        std::make_unique<spice::Netlist>(circuit.netlist.clone()),
+        obs.input_source, obs.x_node, obs.y_node, obs.settle_periods));
+    const core::BatchNdfEvaluator batch(reference_pipe, {.threads = 2});
+    const std::vector<double> reference =
+        batch.evaluate_netlist_faults(circuit.netlist, faults, obs);
+
+    constexpr unsigned kWorkers = 3;
+    SweepService service(make_pipeline(), {.workers = kWorkers, .shard_size = 1});
+    const SweepJob job = SweepJob::fault_universe(
+        std::make_shared<spice::Netlist>(circuit.netlist.clone()), faults, obs);
+
+    const std::uint64_t clones_before = spice::Netlist::clone_count();
+    std::vector<double> streamed;
+    bool any_nan = false;
+    const JobSummary summary = service.run(job, [&](const SweepResult& r) {
+        streamed.push_back(r.ndf);
+        if (std::isnan(r.ndf)) {
+            any_nan = true;
+            EXPECT_FALSE(r.signature.has_value());
+        } else {
+            EXPECT_TRUE(r.signature.has_value());
+        }
+    });
+    const std::uint64_t clones_during =
+        spice::Netlist::clone_count() - clones_before;
+
+    // One clone per participating worker — never one per fault — plus
+    // exactly one for the job's golden CUT. shard_size = 1 gives every
+    // worker ample chance to participate, so the probe also caps the total.
+    EXPECT_EQ(summary.netlist_clones, clones_during - 1);
+    EXPECT_GE(summary.netlist_clones, 1u);
+    EXPECT_LE(summary.netlist_clones, kWorkers);
+    EXPECT_LT(clones_during, faults.size()); // the clone-per-fault smell test
+    EXPECT_EQ(summary.shards_total, faults.size());
+
+    // Bit identity against the clone-per-fault reference, NaNs included.
+    ASSERT_EQ(streamed.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+        ASSERT_TRUE(same_bits(streamed[i], reference[i]))
+            << "fault " << faults[i].description();
+    EXPECT_TRUE(any_nan); // the universe contains unsolvable members
+}
+
+TEST(SweepService, CancellationMidJobStopsDispatchKeepsOrder) {
+    SweepService service(make_pipeline(), {.workers = 4, .shard_size = 4});
+    // Large enough that the workers cannot plausibly drain the whole
+    // universe before the callback has delivered (and cancelled at) 20
+    // results on the caller thread.
+    const SweepJob job =
+        SweepJob::deviation_grid(core::paper_biquad(), grid(-20.0, 20.0, 2000));
+
+    SweepCancelToken cancel;
+    std::vector<std::size_t> order;
+    const JobSummary summary = service.run(
+        job,
+        [&](const SweepResult& r) {
+            order.push_back(r.member_id);
+            if (order.size() == 20)
+                cancel.cancel();
+        },
+        &cancel);
+
+    EXPECT_TRUE(summary.cancelled);
+    EXPECT_GE(order.size(), 20u);
+    EXPECT_LT(order.size(), 2000u); // dispatch really stopped
+    EXPECT_LT(summary.shards_done, summary.shards_total);
+    // Every evaluated member is delivered, in ascending order (gaps allowed
+    // after the cancellation point).
+    EXPECT_EQ(order.size(), summary.members_done);
+    for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_LT(order[i - 1], order[i]);
+    // The contiguous prefix before cancellation is gap-free.
+    for (std::size_t i = 0; i < 20; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(SweepService, GoldenComputedOncePerFingerprintAcrossJobs) {
+    SweepService service(make_pipeline(), {.workers = 2, .shard_size = 8});
+    const SweepJob job =
+        SweepJob::deviation_grid(core::paper_biquad(), grid(-5.0, 5.0, 32));
+    auto& cache = core::GoldenSignatureCache::instance();
+
+    (void)service.run(job, [](const SweepResult&) {});
+    const std::size_t misses_after_first = cache.misses();
+    const std::size_t hits_after_first = cache.hits();
+
+    (void)service.run(job, [](const SweepResult&) {});
+    (void)service.run(job, [](const SweepResult&) {});
+    EXPECT_EQ(cache.misses(), misses_after_first); // no recomputation
+    EXPECT_GE(cache.hits(), hits_after_first + 2); // one hit per repeat job
+
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.jobs, 3u);
+    EXPECT_EQ(stats.members, 3u * 32u);
+}
+
+TEST(SweepService, WorkerFaultInjectionErrorPropagates) {
+    const auto circuit = filter::build_tow_thomas(
+        filter::TowThomasDesign::from_biquad(core::paper_biquad().design(), 10e3));
+    const core::SpiceObservation obs{circuit.input_source, circuit.input_node,
+                                     circuit.lp_node, 2};
+    capture::NetlistFault bogus;
+    bogus.kind = capture::NetlistFault::Kind::bridging;
+    bogus.node_a = "no_such_node";
+    bogus.node_b = circuit.lp_node;
+    bogus.value = 100.0;
+
+    SweepService service(make_pipeline(), {.workers = 2, .shard_size = 1});
+    const SweepJob job = SweepJob::fault_universe(
+        std::make_shared<spice::Netlist>(circuit.netlist.clone()), {bogus}, obs);
+    EXPECT_THROW((void)service.run(job, [](const SweepResult&) {}),
+                 InvalidInput);
+}
+
+TEST(SweepService, ThrowingResultCallbackStopsJobAndServiceSurvives) {
+    SweepService service(make_pipeline(), {.workers = 4, .shard_size = 4});
+    const SweepJob job =
+        SweepJob::deviation_grid(core::paper_biquad(), grid(-20.0, 20.0, 500));
+    // A consumer that throws mid-stream: run() must stop the workers, wait
+    // for them to release the job context, and rethrow — not crash.
+    EXPECT_THROW(
+        (void)service.run(job,
+                          [](const SweepResult& r) {
+                              if (r.member_id == 3)
+                                  throw std::runtime_error("consumer failed");
+                          }),
+        std::runtime_error);
+    // The pool is intact: the next job runs normally.
+    std::size_t delivered = 0;
+    (void)service.run(
+        SweepJob::deviation_grid(core::paper_biquad(), {-5.0, 5.0}),
+        [&](const SweepResult&) { ++delivered; });
+    EXPECT_EQ(delivered, 2u);
+}
+
+TEST(SweepService, EmptyJobCompletesImmediately) {
+    SweepService service(make_pipeline(), {.workers = 2});
+    const SweepJob job = SweepJob::deviation_grid(core::paper_biquad(), {});
+    std::size_t calls = 0;
+    const JobSummary summary =
+        service.run(job, [&](const SweepResult&) { ++calls; });
+    EXPECT_EQ(calls, 0u);
+    EXPECT_EQ(summary.members_total, 0u);
+    EXPECT_EQ(summary.shards_total, 0u);
+    EXPECT_FALSE(summary.cancelled);
+}
+
+} // namespace
+} // namespace xysig::server

@@ -1,0 +1,145 @@
+// Adaptive-transient edge cases around the step-size controller:
+//  * a rejected FINAL CLAMPED attempt must not trip the dt_min underflow
+//    abort when the controller's own (unclamped) step is healthy — the
+//    clamp to the remaining time is a termination mechanism, not a
+//    convergence failure;
+//  * a genuinely unresolvable tolerance still aborts with NumericError;
+//  * t_stop == 0 terminates (the loop epsilon used to degenerate to an
+//    exact-equality bound for runs ending at the time origin);
+//  * reject-then-accept state restoration is bit-stable: repeated runs of a
+//    rejection-heavy circuit produce bit-identical trajectories, including
+//    through the pooled snapshot buffers and reused row storage.
+
+#include "spice/transient.h"
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spice/elements.h"
+
+namespace xysig::spice {
+namespace {
+
+/// RC low-pass driven by a pulse whose rising corner sits at `edge` —
+/// everything before the corner is exactly flat (zero local error), so the
+/// first rejection happens exactly where the corner first enters a step.
+Netlist pulse_rc(double edge) {
+    Netlist nl;
+    const auto in = nl.node("in");
+    const auto out = nl.node("out");
+    nl.add<VoltageSource>("Vin", in, kGround,
+                          PulseWaveform(0.0, 1.0, /*delay=*/edge,
+                                        /*rise=*/0.05e-6, /*fall=*/0.05e-6,
+                                        /*width=*/5e-6, /*period=*/50e-6));
+    nl.add<Resistor>("R1", in, out, 10e3);
+    nl.add<Capacitor>("C1", out, kGround, 1e-9);
+    return nl;
+}
+
+TEST(AdaptiveTransient, RejectedFinalClampedStepDoesNotUnderflow) {
+    // 10 healthy 1us steps, then 0.5us of span left with the pulse corner
+    // inside it. The clamped 0.5us attempt is rejected; halving it gives
+    // 0.25us < dt_min = 0.3us, which used to abort even though the
+    // controller's step (1us) was fine. Now the rejection of a
+    // clamp-limited attempt is exempt from the underflow check, the engine
+    // retries smaller, and the run completes.
+    Netlist nl = pulse_rc(10.4e-6);
+    TransientOptions opts;
+    opts.t_stop = 10.5e-6;
+    opts.dt = 1e-6;
+    opts.dt_max = 1e-6; // keep the pre-corner steps at exactly 1us
+    opts.dt_min = 0.3e-6;
+    opts.adaptive = true;
+    opts.lte_tol = 2e-3;
+
+    const TransientResult res = run_transient(nl, opts);
+    EXPECT_GE(res.rejected_steps, 1);
+    ASSERT_GE(res.step_count(), 2u);
+    EXPECT_DOUBLE_EQ(res.time().back(), opts.t_stop);
+    // The healthy region really did run at the controller's step size.
+    EXPECT_DOUBLE_EQ(res.time()[1] - res.time()[0], 1e-6);
+}
+
+TEST(AdaptiveTransient, GenuineUnderflowStillAborts) {
+    // Same circuit, but a tolerance the corner cannot satisfy with steps
+    // >= dt_min: once the retries are no longer clamp-limited the dt_min
+    // guard must still fire.
+    Netlist nl = pulse_rc(10.4e-6);
+    TransientOptions opts;
+    opts.t_stop = 10.5e-6;
+    opts.dt = 1e-6;
+    opts.dt_max = 1e-6;
+    opts.dt_min = 0.3e-6;
+    opts.adaptive = true;
+    opts.lte_tol = 1e-4;
+    EXPECT_THROW((void)run_transient(nl, opts), NumericError);
+}
+
+TEST(AdaptiveTransient, TerminatesWhenTStopIsZero) {
+    // A run ending at the time origin: the termination epsilon must be
+    // relative to the span, not to |t_stop| (1e-15 * 0 == 0 demands exact
+    // equality from accumulated floating-point sums).
+    Netlist nl;
+    const auto in = nl.node("in");
+    const auto out = nl.node("out");
+    nl.add<VoltageSource>("Vin", in, kGround, SineWaveform(0.5, 0.3, 5e3));
+    nl.add<Resistor>("R1", in, out, 10e3);
+    nl.add<Capacitor>("C1", out, kGround, 1e-9);
+    TransientOptions opts;
+    opts.t_start = -200e-6;
+    opts.t_stop = 0.0;
+    opts.dt = 1e-6;
+    opts.adaptive = true;
+    opts.lte_tol = 1e-5;
+
+    const TransientResult res = run_transient(nl, opts);
+    ASSERT_GE(res.step_count(), 2u);
+    // Ends within the span-relative epsilon of t = 0.
+    EXPECT_NEAR(res.time().back(), 0.0, 1e-15 * 200e-6);
+    EXPECT_GE(res.time().back(), -1e-15 * 200e-6);
+}
+
+TEST(AdaptiveTransient, RejectThenAcceptTrajectoriesAreBitStable) {
+    // A rejection-heavy run (the corner mid-span forces many
+    // reject-then-accept cycles). Re-running on an identical clone — and
+    // into a reused TransientResult — must reproduce every time point and
+    // every unknown bit for bit: state save/restore around rejected
+    // attempts may not leak one ULP.
+    const Netlist nominal = pulse_rc(20e-6);
+    TransientOptions opts;
+    opts.t_stop = 100e-6;
+    opts.dt = 1e-6;
+    opts.adaptive = true;
+    opts.lte_tol = 1e-6;
+
+    Netlist first = nominal.clone();
+    const TransientResult a = run_transient(first, opts);
+    EXPECT_GE(a.rejected_steps, 10); // the scenario genuinely rejects a lot
+
+    Netlist second = nominal.clone();
+    TransientResult b;
+    run_transient_into(second, opts, b);
+    // And reuse b's row storage for a third run (the re-entrancy path the
+    // sweep service workers rely on).
+    Netlist third = nominal.clone();
+    run_transient_into(third, opts, b);
+
+    ASSERT_EQ(a.step_count(), b.step_count());
+    EXPECT_EQ(a.rejected_steps, b.rejected_steps);
+    const auto node_count = static_cast<NodeId>(3);
+    for (std::size_t s = 0; s < a.step_count(); ++s) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(a.time()[s]),
+                  std::bit_cast<std::uint64_t>(b.time()[s]))
+            << "time diverged at step " << s;
+        for (NodeId n = 1; n < node_count; ++n)
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(a.voltage(n, s)),
+                      std::bit_cast<std::uint64_t>(b.voltage(n, s)))
+                << "node " << n << " diverged at step " << s;
+    }
+}
+
+} // namespace
+} // namespace xysig::spice
