@@ -1,208 +1,57 @@
 // sweep_server — newline-delimited-JSON front-end over server::SweepService.
 //
-// Reads one JSON job per stdin line, streams NDJSON events (job_start,
-// result, progress, job_done, verify, error) to stdout, and keeps the
-// service — worker pool, pipeline, golden-signature cache — alive across
-// jobs, so universes of 10^4+ members can be driven from outside the
-// process. See the README "Sharded sweep service" section for the schema.
+// Reads one JSON request (job or command) per stdin line, streams NDJSON
+// events (ready, job_start, result, progress, job_done, verify, stats,
+// error) to stdout, and keeps the service — worker pool, pipeline,
+// golden-signature cache — alive across jobs. docs/PROTOCOL.md is the
+// normative spec of the wire format; the protocol logic itself lives in
+// src/server/wire.{h,cpp} (ServerSession), shared with the fan-out
+// driver's loopback transport, so this file is only plumbing:
 //
-// Job lines:
-//   {"job":"deviations","parameter":"f0","deviations":[-10,-5,5,10]}
-//   {"job":"deviations","parameter":"q","grid":{"from":-20,"to":20,"count":1000}}
-//   {"job":"spice_faults","universe":"bridging+open","settle_periods":2}
-//   {"cmd":"stats"}   {"cmd":"quit"}
-// Common job fields: "id" (echoed on every event), "shard_size",
-// "progress_every" (members between progress events; 0 = off),
-// "cancel_after" (cancel the job after K streamed results; tests the
-// cancellation path end-to-end), "emit_signatures" (default true),
-// "verify_serial" (re-evaluate the whole universe serially — clone per
-// fault — and check the streamed NDFs are bit-identical; the process exits
-// non-zero if any verification ever failed).
+//  * a stdin reader thread that queues request lines and applies
+//    {"cmd":"cancel"} on receipt (so a running job can be cancelled);
+//  * --check mode: validate each stdin line against the protocol schema
+//    without running anything — CI replays the PROTOCOL.md examples
+//    through it so documented lines can never drift from the parser.
 //
-// Flags: --workers=N --shard-size=N --spp=N (pipeline samples per period).
+// Flags: --workers=N --shard-size=N --spp=N (pipeline samples per period)
+//        --check (schema-validate stdin lines, exit non-zero on the first
+//        invalid one)
 
-#include <algorithm>
-#include <bit>
-#include <cstdint>
+#include <condition_variable>
+#include <deque>
 #include <iostream>
-#include <limits>
-#include <memory>
+#include <mutex>
 #include <string>
-#include <vector>
+#include <thread>
 
-#include "capture/fault_injection.h"
-#include "common/strings.h"
-#include "core/batch_ndf.h"
-#include "core/golden_cache.h"
-#include "core/paper_setup.h"
-#include "filter/tow_thomas.h"
-#include "monitor/table1.h"
-#include "server/json.h"
-#include "server/sweep_service.h"
+#include "server/wire.h"
 
 namespace {
 
 using namespace xysig;
-using server::JsonValue;
 
-/// Compact exact signature string: "code@t;code@t;..." with hexfloat times,
-/// so two signatures compare equal iff the chronograms are bit-identical.
-std::string signature_string(const capture::Chronogram& ch) {
-    std::string out;
-    for (const auto& ev : ch.events()) {
-        if (!out.empty())
-            out.push_back(';');
-        out += std::to_string(ev.code);
-        out.push_back('@');
-        out += format_double_exact(ev.t);
-    }
-    return out;
-}
-
-void emit(const JsonValue::Object& obj) {
-    std::cout << JsonValue(obj).dump() << "\n" << std::flush;
-}
-
-void emit_error(const std::string& id, const std::string& message) {
-    JsonValue::Object o;
-    o.emplace("event", "error");
-    if (!id.empty())
-        o.emplace("id", id);
-    o.emplace("message", message);
-    emit(o);
-}
-
-struct ParsedJob {
-    server::SweepJob job;
-    std::vector<double> deviations;     // deviation jobs
-    core::SweptParameter parameter = core::SweptParameter::f0;
-    bool is_spice = false;
-    std::vector<capture::NetlistFault> faults; // spice jobs
-    std::shared_ptr<const spice::Netlist> nominal;
-    core::SpiceObservation observation;
-};
-
-/// Builds the SweepJob (and keeps the pieces a serial verification needs).
-ParsedJob parse_job(const JsonValue& v) {
-    ParsedJob parsed;
-    const std::string kind = v.at("job").as_string();
-    if (kind == "deviations") {
-        const std::string param = v.string_or("parameter", "f0");
-        if (param != "f0" && param != "q")
-            throw InvalidInput("sweep_server: parameter must be 'f0' or 'q'");
-        parsed.parameter = param == "f0" ? core::SweptParameter::f0
-                                         : core::SweptParameter::q;
-        if (v.has("deviations")) {
-            for (const JsonValue& d : v.at("deviations").as_array())
-                parsed.deviations.push_back(d.as_number());
-        } else {
-            const JsonValue& grid = v.at("grid");
-            const double from = grid.at("from").as_number();
-            const double to = grid.at("to").as_number();
-            const auto count =
-                static_cast<std::size_t>(grid.at("count").as_number());
-            if (count < 2)
-                throw InvalidInput("sweep_server: grid.count must be >= 2");
-            for (std::size_t i = 0; i < count; ++i)
-                parsed.deviations.push_back(
-                    from + (to - from) * static_cast<double>(i) /
-                               static_cast<double>(count - 1));
-        }
-        parsed.job = server::SweepJob::deviation_grid(
-            core::paper_biquad(), parsed.deviations, parsed.parameter);
-    } else if (kind == "spice_faults") {
-        auto circuit = filter::build_tow_thomas(filter::TowThomasDesign::from_biquad(
-            core::paper_biquad().design(), 10e3));
-        capture::FaultUniverseOptions fopts;
-        fopts.bridge_resistance = v.number_or("bridge_resistance", 100.0);
-        fopts.open_factor = v.number_or("open_factor", 1e6);
-        fopts.bridge_to_ground = v.bool_or("bridge_to_ground", false);
-        const std::string universe = v.string_or("universe", "bridging+open");
-        if (universe.find("bridging") != std::string::npos)
-            parsed.faults =
-                capture::enumerate_bridging_faults(circuit.netlist, fopts);
-        if (universe.find("open") != std::string::npos) {
-            const auto opens =
-                capture::enumerate_open_faults(circuit.netlist, fopts);
-            parsed.faults.insert(parsed.faults.end(), opens.begin(), opens.end());
-        }
-        if (parsed.faults.empty())
-            throw InvalidInput(
-                "sweep_server: universe must name 'bridging' and/or 'open'");
-        parsed.observation = {circuit.input_source, circuit.input_node,
-                              circuit.lp_node,
-                              static_cast<int>(v.number_or("settle_periods", 2))};
-        parsed.nominal =
-            std::make_shared<spice::Netlist>(std::move(circuit.netlist));
-        parsed.is_spice = true;
-        parsed.job = server::SweepJob::fault_universe(
-            parsed.nominal, parsed.faults, parsed.observation);
-    } else {
-        throw InvalidInput("sweep_server: unknown job kind '" + kind + "'");
-    }
-    parsed.job.shard_size =
-        static_cast<std::size_t>(v.number_or("shard_size", 0.0));
-    return parsed;
-}
-
-bool same_bits(double a, double b) {
-    return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
-}
-
-/// Serial reference evaluation of the same universe (clone per fault for
-/// SPICE jobs — the independent check of the service's clone-reuse scheme).
-std::vector<double> serial_reference(const ParsedJob& parsed,
-                                     const core::SignaturePipeline& pipe) {
-    std::vector<double> out;
-    core::NdfScratch scratch;
-    if (parsed.is_spice) {
-        const auto universe = core::BatchNdfEvaluator::build_fault_universe(
-            *parsed.nominal, parsed.faults, parsed.observation);
-        out.reserve(universe.size());
-        for (const auto& cut : universe) {
-            try {
-                out.push_back(pipe.ndf_of(*cut, scratch));
-            } catch (const NumericError&) {
-                out.push_back(std::numeric_limits<double>::quiet_NaN());
-            }
-        }
-        return out;
-    }
-    const filter::Biquad nominal = core::paper_biquad();
-    out.reserve(parsed.deviations.size());
-    for (const double dev : parsed.deviations) {
-        const double frac = dev / 100.0;
-        const filter::BehaviouralCut cut(parsed.parameter ==
-                                                 core::SweptParameter::f0
-                                             ? nominal.with_f0_shift(frac)
-                                             : nominal.with_q_shift(frac));
+/// --check: one line in, one verdict out. Exit code 1 on the first
+/// schema violation, with the offending line number on stderr.
+int run_check_mode() {
+    std::string line;
+    std::size_t line_number = 0;
+    std::size_t checked = 0;
+    while (std::getline(std::cin, line)) {
+        ++line_number;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
         try {
-            out.push_back(pipe.ndf_of(cut, scratch));
-        } catch (const NumericError&) {
-            out.push_back(std::numeric_limits<double>::quiet_NaN());
+            server::check_protocol_line(line);
+            ++checked;
+        } catch (const std::exception& e) {
+            std::cerr << "sweep_server --check: line " << line_number << ": "
+                      << e.what() << "\n";
+            return 1;
         }
     }
-    return out;
-}
-
-void emit_stats(const server::SweepService& service) {
-    const auto stats = service.stats();
-    const auto& cache = core::GoldenSignatureCache::instance();
-    JsonValue::Object cache_obj;
-    cache_obj.emplace("hits", cache.hits());
-    cache_obj.emplace("misses", cache.misses());
-    cache_obj.emplace("size", cache.size());
-    cache_obj.emplace("evictions", cache.evictions());
-    cache_obj.emplace("capacity", cache.capacity());
-    JsonValue::Object o;
-    o.emplace("event", "stats");
-    o.emplace("jobs", stats.jobs);
-    o.emplace("members", stats.members);
-    o.emplace("shards", stats.shards);
-    o.emplace("netlist_clones", stats.netlist_clones);
-    o.emplace("workers", static_cast<std::size_t>(service.worker_count()));
-    o.emplace("golden_cache", std::move(cache_obj));
-    emit(o);
+    std::cout << "sweep_server --check: " << checked << " lines ok\n";
+    return 0;
 }
 
 } // namespace
@@ -211,6 +60,7 @@ int main(int argc, char** argv) {
     unsigned workers = 0;
     std::size_t shard_size = 64;
     std::size_t samples_per_period = 512;
+    bool check = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--workers=", 0) == 0)
@@ -219,165 +69,97 @@ int main(int argc, char** argv) {
             shard_size = std::stoul(arg.substr(13));
         else if (arg.rfind("--spp=", 0) == 0)
             samples_per_period = std::stoul(arg.substr(6));
+        else if (arg == "--check")
+            check = true;
         else {
             std::cerr << "unknown flag: " << arg << "\n";
             return 2;
         }
     }
+    if (check)
+        return run_check_mode();
 
-    core::PipelineOptions popts;
-    popts.samples_per_period = samples_per_period;
-    core::SignaturePipeline pipeline(monitor::build_table1_bank(),
-                                     core::paper_stimulus(), popts);
     server::SweepServiceOptions sopts;
     sopts.workers = workers;
     sopts.shard_size = shard_size;
-    server::SweepService service(std::move(pipeline), sopts);
+    server::SweepService service(server::make_paper_pipeline(samples_per_period),
+                                 sopts);
+    server::ServerSession session(service, [](const std::string& line) {
+        std::cout << line << "\n" << std::flush;
+    });
+    session.emit_ready(samples_per_period);
 
-    {
-        JsonValue::Object o;
-        o.emplace("event", "ready");
-        o.emplace("workers", static_cast<std::size_t>(service.worker_count()));
-        o.emplace("shard_size", sopts.shard_size);
-        o.emplace("samples_per_period", samples_per_period);
-        emit(o);
-    }
+    // Request lines are processed in order on this (main) thread; the
+    // reader thread exists so {"cmd":"cancel"} takes effect while a job is
+    // running — it is applied on receipt instead of being queued. The
+    // queue is bounded: past the cap the reader stops consuming stdin, so
+    // a producer piping a huge job script is throttled by the OS pipe
+    // (the backpressure the old single-threaded getline loop had), at the
+    // cost of cancels behind >kMaxPending unread lines waiting their turn.
+    constexpr std::size_t kMaxPending = 256;
+    std::mutex mutex;
+    std::condition_variable cv;       // signalled when a line is queued / EOF
+    std::condition_variable space_cv; // signalled when a line is consumed
+    std::deque<std::string> requests;
+    bool eof = false;
 
-    bool all_verified = true;
-    std::string line;
-    while (std::getline(std::cin, line)) {
-        if (line.find_first_not_of(" \t\r") == std::string::npos)
-            continue;
-        std::string id;
-        try {
-            const JsonValue v = JsonValue::parse(line);
-            id = v.string_or("id", "");
-            if (v.has("cmd")) {
-                const std::string cmd = v.at("cmd").as_string();
-                if (cmd == "quit")
-                    break;
-                if (cmd == "stats") {
-                    emit_stats(service);
-                    continue;
+    std::thread reader([&] {
+        std::string line;
+        while (std::getline(std::cin, line)) {
+            if (line.find_first_not_of(" \t\r") == std::string::npos)
+                continue;
+            std::string cmd;
+            try {
+                const server::JsonValue v = server::JsonValue::parse(line);
+                if (v.is_object()) {
+                    cmd = v.string_or("cmd", "");
+                    if (cmd == "cancel") {
+                        session.cancel(v.string_or("id", ""));
+                        continue;
+                    }
                 }
-                throw InvalidInput("sweep_server: unknown cmd '" + cmd + "'");
+            } catch (const std::exception&) {
+                // malformed: queue it so the session reports the error
             }
-
-            ParsedJob parsed = parse_job(v);
-            const auto progress_every =
-                static_cast<std::size_t>(v.number_or("progress_every", 0.0));
-            const auto cancel_after =
-                static_cast<std::size_t>(v.number_or("cancel_after", 0.0));
-            const bool emit_signatures = v.bool_or("emit_signatures", true);
-            const bool verify_serial = v.bool_or("verify_serial", false);
-
+            const bool quit = cmd == "quit";
             {
-                JsonValue::Object o;
-                o.emplace("event", "job_start");
-                if (!id.empty())
-                    o.emplace("id", id);
-                o.emplace("members", parsed.job.size());
-                o.emplace("workers",
-                          static_cast<std::size_t>(service.worker_count()));
-                emit(o);
+                std::unique_lock<std::mutex> lock(mutex);
+                space_cv.wait(lock,
+                              [&] { return requests.size() < kMaxPending; });
+                requests.push_back(line);
             }
-
-            server::SweepCancelToken cancel;
-            std::vector<double> streamed;
-            streamed.reserve(parsed.job.size());
-            std::size_t delivered = 0;
-            const auto on_result = [&](const server::SweepResult& r) {
-                streamed.push_back(r.ndf);
-                ++delivered;
-                JsonValue::Object o;
-                o.emplace("event", "result");
-                if (!id.empty())
-                    o.emplace("id", id);
-                o.emplace("member", r.member_id);
-                o.emplace("ndf", r.ndf);
-                o.emplace("ndf_hex", format_double_exact(r.ndf));
-                o.emplace("label", r.label);
-                if (emit_signatures && r.signature.has_value()) {
-                    o.emplace("signature", signature_string(*r.signature));
-                    o.emplace("zone_visits", r.signature->zone_visits());
-                }
-                emit(o);
-                if (progress_every != 0 && delivered % progress_every == 0) {
-                    JsonValue::Object p;
-                    p.emplace("event", "progress");
-                    if (!id.empty())
-                        p.emplace("id", id);
-                    p.emplace("done", delivered);
-                    p.emplace("total", parsed.job.size());
-                    emit(p);
-                }
-                if (cancel_after != 0 && delivered >= cancel_after)
-                    cancel.cancel();
-            };
-
-            const server::JobSummary summary =
-                service.run(parsed.job, on_result, &cancel);
-
-            {
-                double shard_min = 0.0, shard_max = 0.0, shard_sum = 0.0;
-                for (const auto& st : summary.shard_timings) {
-                    shard_min = (shard_min == 0.0 || st.seconds < shard_min)
-                                    ? st.seconds
-                                    : shard_min;
-                    shard_max = std::max(shard_max, st.seconds);
-                    shard_sum += st.seconds;
-                }
-                JsonValue::Object o;
-                o.emplace("event", "job_done");
-                if (!id.empty())
-                    o.emplace("id", id);
-                o.emplace("members_total", summary.members_total);
-                o.emplace("members_done", summary.members_done);
-                o.emplace("shards_total", summary.shards_total);
-                o.emplace("shards_done", summary.shards_done);
-                o.emplace("cancelled", summary.cancelled);
-                o.emplace("seconds", summary.seconds);
-                o.emplace("netlist_clones", summary.netlist_clones);
-                o.emplace("shard_seconds_min", shard_min);
-                o.emplace("shard_seconds_max", shard_max);
-                o.emplace("shard_seconds_mean",
-                          summary.shard_timings.empty()
-                              ? 0.0
-                              : shard_sum / static_cast<double>(
-                                                summary.shard_timings.size()));
-                emit(o);
-            }
-
-            if (verify_serial && summary.cancelled) {
-                // A cancelled job has a legitimately incomplete stream; that
-                // is not a verification failure, there is just nothing to
-                // compare against. Report the skip instead of a bogus false.
-                JsonValue::Object o;
-                o.emplace("event", "verify");
-                if (!id.empty())
-                    o.emplace("id", id);
-                o.emplace("skipped_cancelled", true);
-                emit(o);
-            } else if (verify_serial) {
-                const std::vector<double> reference =
-                    serial_reference(parsed, service.pipeline());
-                bool identical = streamed.size() == reference.size();
-                if (identical)
-                    for (std::size_t i = 0; i < reference.size(); ++i)
-                        identical =
-                            identical && same_bits(streamed[i], reference[i]);
-                all_verified = all_verified && identical;
-                JsonValue::Object o;
-                o.emplace("event", "verify");
-                if (!id.empty())
-                    o.emplace("id", id);
-                o.emplace("bit_identical", identical);
-                o.emplace("members", reference.size());
-                emit(o);
-            }
-        } catch (const std::exception& e) {
-            emit_error(id, e.what());
+            cv.notify_all();
+            if (quit)
+                break; // stop reading so the thread is joinable after quit
         }
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            eof = true;
+        }
+        cv.notify_all();
+    });
+
+    while (true) {
+        std::string line;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&] { return eof || !requests.empty(); });
+            if (requests.empty())
+                break; // EOF with nothing pending
+            line = std::move(requests.front());
+            requests.pop_front();
+        }
+        space_cv.notify_all();
+        if (!session.handle_line(line))
+            break; // quit
     }
-    return all_verified ? 0 : 1;
+    {
+        // Unblock a reader parked on a full queue before joining (it will
+        // park again only after a push, and EOF/quit paths set it free).
+        std::lock_guard<std::mutex> lock(mutex);
+        requests.clear();
+    }
+    space_cv.notify_all();
+    reader.join();
+    return session.all_verified() ? 0 : 1;
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Replays every json-fenced line of docs/PROTOCOL.md through the real
+# protocol parser (`sweep_server --check`), so documented examples cannot
+# drift from the implementation. Usage:
+#
+#   scripts/check_protocol_docs.sh ./build/example_sweep_server [docs/PROTOCOL.md]
+#
+# Exits non-zero when extraction finds nothing (the doc or its fences
+# moved) or when any example line fails validation.
+set -eu
+
+server="${1:?usage: check_protocol_docs.sh <sweep_server binary> [protocol.md]}"
+doc="${2:-docs/PROTOCOL.md}"
+
+lines=$(awk '/^```json$/{f=1;next} /^```$/{f=0} f' "$doc")
+count=$(printf '%s\n' "$lines" | grep -c '[^[:space:]]' || true)
+if [ "$count" -lt 10 ]; then
+    echo "check_protocol_docs: only $count example lines extracted from $doc — fences moved?" >&2
+    exit 1
+fi
+printf '%s\n' "$lines" | "$server" --check
+echo "check_protocol_docs: $count documented example lines pass the parser"

@@ -1,0 +1,479 @@
+#include "server/fanout.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/contracts.h"
+#include "common/strings.h"
+#include "server/wire.h"
+
+namespace xysig::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(const Clock::time_point& t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Read-poll slice: short enough that cancellation fan-out and abort are
+/// prompt, long enough not to spin.
+constexpr double kPollSliceSeconds = 0.05;
+
+/// Bounded integer field of a peer event (wire::index_field — peer stdout
+/// is as untrusted as peer stdin).
+[[nodiscard]] std::size_t size_field(const JsonValue& v, const char* key) {
+    return index_field(v.at(key), key);
+}
+
+} // namespace
+
+/// Everything the partition threads and the merging run() caller share.
+struct FanoutDriver::Shared {
+    JsonValue::Object base_job; ///< the job object, cloned per partition
+    std::string base_id;
+    SweepCancelToken* cancel = nullptr;
+    std::atomic<bool> abort{false}; ///< failure or callback exception
+
+    [[nodiscard]] bool stop_requested() const noexcept {
+        return abort.load(std::memory_order_relaxed) ||
+               (cancel != nullptr && cancel->cancelled());
+    }
+
+    std::mutex factory_mutex; ///< serialises TransportFactory invocations
+
+    std::mutex mutex; ///< guards everything below
+    std::condition_variable cv;
+    std::map<std::size_t, FanoutRecord> ready; ///< merged, not yet delivered
+    std::size_t active = 0; ///< partition threads still running
+    bool failed = false;
+    std::string failure;
+    std::size_t samples_per_period = 0; ///< from the first ready banner
+    std::vector<PartitionOutcome> outcomes;
+
+    void fail(const std::string& why) {
+        abort.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!failed) {
+            failed = true;
+            failure = why;
+        }
+        cv.notify_all();
+    }
+};
+
+FanoutDriver::FanoutDriver(TransportFactory factory, FanoutOptions options)
+    : factory_(std::move(factory)), options_(std::move(options)) {
+    XYSIG_EXPECTS(factory_ != nullptr);
+    XYSIG_EXPECTS(options_.partitions >= 1 || !options_.partition_starts.empty());
+    XYSIG_EXPECTS(options_.max_attempts >= 1);
+}
+
+void FanoutDriver::partition_main(Shared& shared, std::size_t partition) {
+    PartitionOutcome& out = shared.outcomes[partition];
+    const std::size_t end = out.first_member + out.member_count;
+    std::size_t next_needed = out.first_member;
+    const auto t0 = Clock::now();
+    bool done = false;
+
+    while (!done) {
+        if (shared.stop_requested()) {
+            out.cancelled = true;
+            break;
+        }
+        if (out.attempts >= options_.max_attempts) {
+            shared.fail("fanout: partition " + std::to_string(partition) +
+                        " exhausted " + std::to_string(options_.max_attempts) +
+                        " dispatch attempts");
+            break;
+        }
+        ++out.attempts;
+        std::unique_ptr<Transport> transport;
+        {
+            std::lock_guard<std::mutex> lock(shared.factory_mutex);
+            transport = factory_();
+        }
+
+        // Handshake: wait for the ready banner (and pin the peers to one
+        // samples_per_period — the verify gate depends on it).
+        bool handshaken = false;
+        {
+            const auto h0 = Clock::now();
+            std::string line;
+            while (seconds_since(h0) < options_.handshake_timeout_seconds) {
+                const auto status =
+                    transport->read_line(line, kPollSliceSeconds);
+                if (status == Transport::ReadStatus::closed)
+                    break;
+                if (status == Transport::ReadStatus::timeout) {
+                    if (shared.stop_requested())
+                        break;
+                    continue;
+                }
+                try {
+                    const JsonValue v = JsonValue::parse(line);
+                    if (v.is_object() && v.string_or("event", "") == "ready") {
+                        const std::size_t spp =
+                            size_field(v, "samples_per_period");
+                        bool mismatch = false;
+                        {
+                            std::lock_guard<std::mutex> lock(shared.mutex);
+                            if (shared.samples_per_period == 0)
+                                shared.samples_per_period = spp;
+                            else
+                                mismatch = shared.samples_per_period != spp;
+                        }
+                        if (mismatch) {
+                            shared.fail(
+                                "fanout: workers disagree on "
+                                "samples_per_period — results would not be "
+                                "comparable");
+                            break;
+                        }
+                        handshaken = true;
+                        break;
+                    }
+                } catch (const std::exception&) {
+                    break; // garbage banner: treat the peer as dead
+                }
+            }
+        }
+        if (!handshaken) {
+            transport->shutdown();
+            continue; // costs one attempt
+        }
+
+        // Dispatch the (remaining) member range. Driver-owned concerns are
+        // stripped: progress/cancel_after/verify_serial belong to direct
+        // sweep_server consumers, not to partitions.
+        {
+            JsonValue::Object job = shared.base_job;
+            JsonValue::Object members;
+            members.emplace("first", next_needed);
+            members.emplace("count", end - next_needed);
+            job.insert_or_assign("members", JsonValue(std::move(members)));
+            job.insert_or_assign("id", shared.base_id + "#p" +
+                                           std::to_string(partition) + "a" +
+                                           std::to_string(out.attempts));
+            job.insert_or_assign("version", JsonValue(kProtocolVersion));
+            job.insert_or_assign("progress_every", JsonValue(0));
+            job.insert_or_assign("cancel_after", JsonValue(0));
+            job.insert_or_assign("verify_serial", JsonValue(false));
+            if (!transport->send_line(JsonValue(std::move(job)).dump())) {
+                transport->shutdown();
+                continue;
+            }
+        }
+
+        // Event loop: stream results into the merge map until job_done,
+        // peer death, or inactivity timeout.
+        bool cancel_sent = false;
+        bool peer_dead = false;
+        auto last_activity = Clock::now();
+        std::string line;
+        while (!done && !peer_dead) {
+            if (shared.stop_requested() && !cancel_sent) {
+                // Cooperative cancellation fan-out: ask, don't kill — the
+                // peer finishes members in flight and reports a cancelled
+                // job_done, so nothing evaluated is lost.
+                (void)transport->send_line(R"({"cmd":"cancel"})");
+                cancel_sent = true;
+            }
+            const auto status = transport->read_line(line, kPollSliceSeconds);
+            if (status == Transport::ReadStatus::closed) {
+                peer_dead = true;
+                break;
+            }
+            if (status == Transport::ReadStatus::timeout) {
+                if (options_.read_timeout_seconds > 0.0 &&
+                    seconds_since(last_activity) >
+                        options_.read_timeout_seconds)
+                    peer_dead = true;
+                continue;
+            }
+            last_activity = Clock::now();
+
+            // Any malformed event — unparseable line, wrong field types,
+            // out-of-range counts or members — marks the peer dead (and
+            // re-dispatches the remainder) rather than unwinding the
+            // partition thread or corrupting the merge.
+            try {
+                const JsonValue event = JsonValue::parse(line);
+                if (!event.is_object())
+                    throw InvalidInput("fanout: event line is not an object");
+                const std::string kind = event.string_or("event", "");
+                if (kind == "result") {
+                    FanoutRecord record;
+                    record.member = size_field(event, "member");
+                    if (record.member < next_needed || record.member >= end)
+                        throw InvalidInput(
+                            "fanout: result member outside the dispatched "
+                            "range");
+                    record.ndf_hex = event.at("ndf_hex").as_string();
+                    record.ndf = std::strtod(record.ndf_hex.c_str(), nullptr);
+                    record.label = event.string_or("label", "");
+                    if (event.has("signature"))
+                        record.signature = event.at("signature").as_string();
+                    next_needed = record.member + 1;
+                    ++out.members_done;
+                    {
+                        std::lock_guard<std::mutex> lock(shared.mutex);
+                        shared.ready.emplace(record.member, std::move(record));
+                    }
+                    shared.cv.notify_all();
+                } else if (kind == "job_done") {
+                    out.netlist_clones += size_field(event, "netlist_clones");
+                    const bool job_cancelled = event.at("cancelled").as_bool();
+                    if (job_cancelled) {
+                        out.cancelled = true;
+                        done = true;
+                    } else if (next_needed == end) {
+                        done = true;
+                    } else {
+                        // A healthy, uncancelled peer must cover its whole
+                        // range — a short stream is a protocol violation,
+                        // and deterministic, so re-dispatching would loop.
+                        shared.fail("fanout: partition " +
+                                    std::to_string(partition) +
+                                    " completed without covering its member "
+                                    "range");
+                        done = true;
+                    }
+                    (void)transport->send_line(R"({"cmd":"quit"})");
+                } else if (kind == "error") {
+                    // Job rejection is deterministic (schema/version/
+                    // universe errors): retrying cannot help.
+                    shared.fail("fanout: partition " +
+                                std::to_string(partition) + " rejected by " +
+                                transport->describe() + ": " +
+                                event.string_or("message", "unknown error"));
+                    done = true;
+                }
+                // ready / progress / stats / verify: ignored.
+            } catch (const std::exception&) {
+                peer_dead = true; // a peer emitting garbage is a dead peer
+            }
+        }
+        transport->shutdown();
+
+        if (!done && peer_dead) {
+            if (shared.stop_requested()) {
+                // Don't re-dispatch work the caller no longer wants.
+                out.cancelled = true;
+                done = true;
+            }
+            // else: loop re-dispatches [next_needed, end) — the received
+            // prefix is contiguous, so nothing is recomputed or duplicated.
+        }
+    }
+
+    out.seconds = seconds_since(t0);
+    {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        --shared.active;
+    }
+    shared.cv.notify_all();
+}
+
+FanoutSummary FanoutDriver::run(const std::string& job_line,
+                                const ResultCallback& on_result,
+                                SweepCancelToken* cancel) {
+    return run(JsonValue::parse(job_line), on_result, cancel);
+}
+
+FanoutSummary FanoutDriver::run(const JsonValue& job,
+                                const ResultCallback& on_result,
+                                SweepCancelToken* cancel) {
+    XYSIG_EXPECTS(on_result != nullptr);
+    if (!job.is_object() || !job.has("job"))
+        throw InvalidInput("fanout: expected a job object");
+    if (job.has("members"))
+        throw InvalidInput(
+            "fanout: the driver owns member-range partitioning; a job with "
+            "an explicit \"members\" range cannot be fanned out");
+
+    // Decode the whole universe locally: validates the job up front and
+    // yields the member count to partition over (plus the SweepJob the
+    // verify gate re-runs).
+    WireJob whole = parse_wire_job(job);
+    const std::size_t total = whole.universe_members;
+
+    // Resolve partition boundaries into [start, next_start) ranges.
+    std::vector<std::size_t> starts = options_.partition_starts;
+    if (starts.empty()) {
+        const std::size_t p = std::max<unsigned>(options_.partitions, 1);
+        const std::size_t base = total / p;
+        const std::size_t remainder = total % p;
+        std::size_t at = 0;
+        for (std::size_t i = 0; i < p; ++i) {
+            starts.push_back(at);
+            at += base + (i < remainder ? 1 : 0);
+        }
+    } else {
+        if (starts.front() != 0)
+            throw InvalidInput("fanout: partition_starts must begin at 0");
+        for (std::size_t i = 0; i < starts.size(); ++i) {
+            if (starts[i] > total)
+                throw InvalidInput(
+                    "fanout: partition start past the universe end");
+            if (i > 0 && starts[i] < starts[i - 1])
+                throw InvalidInput("fanout: partition_starts must ascend");
+        }
+    }
+
+    Shared shared;
+    shared.base_job = job.as_object();
+    shared.base_id = whole.id.empty() ? "fanout" : whole.id;
+    shared.cancel = cancel;
+    shared.outcomes.resize(starts.size());
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+        PartitionOutcome& out = shared.outcomes[i];
+        out.partition = i;
+        out.first_member = starts[i];
+        out.member_count =
+            (i + 1 < starts.size() ? starts[i + 1] : total) - starts[i];
+    }
+
+    FanoutSummary summary;
+    summary.members_total = total;
+
+    const auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        for (const PartitionOutcome& out : shared.outcomes)
+            if (out.member_count > 0)
+                ++shared.active;
+    }
+    for (std::size_t i = 0; i < shared.outcomes.size(); ++i)
+        if (shared.outcomes[i].member_count > 0)
+            threads.emplace_back(
+                [this, &shared, i] { partition_main(shared, i); });
+
+    // Merge/delivery on this thread, ascending global member order:
+    // contiguous from 0 while everything is healthy, then (after
+    // cancellation) whatever stragglers completed, still ascending with
+    // gaps — the same contract as SweepService::run.
+    std::vector<FanoutRecord> merged; // kept for the verify gate
+    std::size_t delivered = 0;
+    try {
+        std::size_t next_expected = 0;
+        std::vector<FanoutRecord> batch;
+        bool finished = false;
+        while (!finished) {
+            {
+                std::unique_lock<std::mutex> lock(shared.mutex);
+                shared.cv.wait(lock, [&] {
+                    return shared.active == 0 ||
+                           (!shared.failed && !shared.ready.empty() &&
+                            shared.ready.begin()->first == next_expected);
+                });
+                batch.clear();
+                if (!shared.failed) {
+                    while (!shared.ready.empty() &&
+                           shared.ready.begin()->first == next_expected) {
+                        batch.push_back(std::move(shared.ready.begin()->second));
+                        shared.ready.erase(shared.ready.begin());
+                        ++next_expected;
+                    }
+                    if (shared.active == 0) {
+                        for (auto& entry : shared.ready)
+                            batch.push_back(std::move(entry.second));
+                        shared.ready.clear();
+                    }
+                }
+                finished = shared.active == 0;
+            }
+            for (FanoutRecord& record : batch) {
+                on_result(record);
+                ++delivered;
+                if (options_.verify_single_process)
+                    merged.push_back(std::move(record));
+            }
+        }
+    } catch (...) {
+        shared.abort.store(true, std::memory_order_relaxed);
+        {
+            std::unique_lock<std::mutex> lock(shared.mutex);
+            shared.cv.wait(lock, [&] { return shared.active == 0; });
+        }
+        for (std::thread& t : threads)
+            t.join();
+        throw;
+    }
+    for (std::thread& t : threads)
+        t.join();
+
+    {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        if (shared.failed)
+            throw Error(shared.failure);
+        summary.samples_per_period = shared.samples_per_period;
+    }
+
+    summary.seconds = seconds_since(t0);
+    summary.members_done = delivered;
+    summary.cancelled = cancel != nullptr && cancel->cancelled();
+    summary.partitions = std::move(shared.outcomes);
+    double sum = 0.0;
+    std::size_t busy = 0;
+    for (const PartitionOutcome& out : summary.partitions) {
+        summary.netlist_clones += out.netlist_clones;
+        summary.redispatches += out.attempts > 0 ? out.attempts - 1 : 0;
+        if (out.member_count == 0)
+            continue;
+        ++busy;
+        sum += out.seconds;
+        summary.partition_seconds_min =
+            (busy == 1) ? out.seconds
+                        : std::min(summary.partition_seconds_min, out.seconds);
+        summary.partition_seconds_max =
+            std::max(summary.partition_seconds_max, out.seconds);
+    }
+    summary.partition_seconds_mean =
+        busy == 0 ? 0.0 : sum / static_cast<double>(busy);
+
+    // verify_single_process: the merged multi-process stream must be
+    // bit-identical — exact hexfloat NDFs, exact signature strings — to one
+    // in-process SweepService::run over the same universe.
+    if (options_.verify_single_process && !summary.cancelled) {
+        summary.verify_ran = true;
+        SweepServiceOptions sopts;
+        sopts.workers = options_.verify_workers;
+        SweepService reference(
+            make_paper_pipeline(summary.samples_per_period != 0
+                                    ? summary.samples_per_period
+                                    : 512),
+            sopts);
+        bool identical = merged.size() == total;
+        std::size_t i = 0;
+        (void)reference.run(whole.job, [&](const SweepResult& r) {
+            if (i < merged.size()) {
+                const FanoutRecord& record = merged[i];
+                identical =
+                    identical && record.member == r.member_id &&
+                    record.ndf_hex == format_double_exact(r.ndf) &&
+                    (!whole.emit_signatures ||
+                     (record.signature.has_value() ==
+                          r.signature.has_value() &&
+                      (!record.signature.has_value() ||
+                       *record.signature == signature_string(*r.signature))));
+            } else {
+                identical = false;
+            }
+            ++i;
+        });
+        summary.verify_identical = identical && i == merged.size();
+    }
+    return summary;
+}
+
+} // namespace xysig::server

@@ -1,0 +1,149 @@
+#ifndef XYSIG_SERVER_FANOUT_H
+#define XYSIG_SERVER_FANOUT_H
+
+/// \file fanout.h
+/// Multi-process sweep fan-out: server::FanoutDriver splits one NDJSON
+/// sweep job into contiguous member-range partitions, dispatches each
+/// partition to its own `sweep_server` peer over a Transport
+/// (ProcessTransport = child processes, LoopbackTransport = in-process
+/// deterministic tests), and merges the per-partition result streams back
+/// into one stream in ascending global member order.
+///
+/// Determinism: members are independent and every member's value is a
+/// function of its global id only (parse_wire_job materialises grids over
+/// the full universe before slicing), so the merged stream is bit-identical
+/// to a single-process SweepService::run over the same universe — at any
+/// partition count, and across worker death and re-dispatch. The
+/// verify_single_process gate re-runs the whole universe in-process and
+/// compares exact hexfloat NDFs (and signature strings) member by member.
+///
+/// Fault handling: a partition whose peer dies (pipe EOF, injected death)
+/// or goes silent past read_timeout_seconds is re-dispatched on a fresh
+/// transport, resuming at the first member not yet received — the
+/// in-partition stream is contiguous, so the received prefix is exact and
+/// nothing is delivered twice. A job the peer *rejects* (error event) is
+/// deterministic and fails the whole run instead of being retried.
+/// Cancellation fans out as `{"cmd":"cancel"}` to every live peer;
+/// everything already evaluated still streams out in ascending order
+/// (gaps allowed), exactly like SweepService cancellation.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/json.h"
+#include "server/sweep_service.h"
+#include "server/transport.h"
+
+namespace xysig::server {
+
+struct FanoutOptions {
+    /// Number of contiguous member-range partitions (ignored when
+    /// partition_starts is set). Partitions may be empty when there are
+    /// more partitions than members.
+    unsigned partitions = 2;
+    /// Explicit partition start members (ascending, first element 0,
+    /// values <= universe size; repeated values make empty partitions).
+    /// Empty = even split into `partitions` ranges. Exposed so tests can
+    /// pin boundaries (e.g. straddling a NaN member).
+    std::vector<std::size_t> partition_starts;
+    /// Per-partition inactivity timeout: a peer that emits nothing for
+    /// this long is declared dead and its remaining range re-dispatched.
+    /// 0 = wait forever.
+    double read_timeout_seconds = 0.0;
+    /// Deadline for a fresh peer's ready banner.
+    double handshake_timeout_seconds = 30.0;
+    /// Dispatch attempts per partition (first dispatch included) before
+    /// the whole run fails.
+    unsigned max_attempts = 3;
+    /// After the merge, re-run the whole universe through one in-process
+    /// SweepService and gate on exact per-member identity with the merged
+    /// stream (the fan-out analogue of sweep_server's verify_serial).
+    bool verify_single_process = false;
+    /// Worker threads for the verify service (bit-identity of the
+    /// reference does not depend on this — PR-4's gate).
+    unsigned verify_workers = 2;
+};
+
+/// One merged result record (the wire result event, decoded).
+struct FanoutRecord {
+    std::size_t member = 0;
+    /// Exact bits recovered from ndf_hex (hexfloat round-trip).
+    double ndf = 0.0;
+    std::string ndf_hex;
+    std::string label;
+    std::optional<std::string> signature; ///< exact "code@t;..." string
+};
+
+/// Per-partition accounting.
+struct PartitionOutcome {
+    std::size_t partition = 0;
+    std::size_t first_member = 0;
+    std::size_t member_count = 0;
+    std::size_t members_done = 0;
+    unsigned attempts = 0; ///< transports consumed (attempts - 1 re-dispatches)
+    double seconds = 0.0;  ///< wall-clock incl. re-dispatch
+    std::uint64_t netlist_clones = 0; ///< summed over this partition's attempts
+    bool cancelled = false;
+};
+
+struct FanoutSummary {
+    std::size_t members_total = 0;
+    std::size_t members_done = 0; ///< results delivered to the callback
+    bool cancelled = false;
+    double seconds = 0.0;
+    std::uint64_t netlist_clones = 0;
+    unsigned redispatches = 0; ///< worker deaths / timeouts recovered from
+    std::size_t samples_per_period = 0; ///< from the peers' ready banners
+    /// Straggler stats over non-empty partitions' wall-clocks.
+    double partition_seconds_min = 0.0;
+    double partition_seconds_max = 0.0;
+    double partition_seconds_mean = 0.0;
+    std::vector<PartitionOutcome> partitions; ///< by partition index
+    bool verify_ran = false;
+    bool verify_identical = false;
+};
+
+/// The coordinator. One instance may run() repeatedly; each run spawns
+/// one thread per non-empty partition plus transports from the factory.
+class FanoutDriver {
+public:
+    /// Makes one fresh worker peer; called once per dispatch attempt. The
+    /// driver serialises invocations (partition threads never call it
+    /// concurrently), so stateful factories — e.g. a test handing out one
+    /// faulty transport then healthy ones — need no locking of their own.
+    using TransportFactory = std::function<std::unique_ptr<Transport>()>;
+    using ResultCallback = std::function<void(const FanoutRecord&)>;
+
+    FanoutDriver(TransportFactory factory, FanoutOptions options = {});
+
+    /// Fans the job (one NDJSON job object — same schema sweep_server
+    /// accepts, but without "members": the driver owns partitioning) out
+    /// over the partitions and invokes on_result once per member in
+    /// ascending global member order (contiguous from 0 unless
+    /// cancelled), from the caller's thread. Blocks until done. Throws
+    /// Error when a partition exhausts max_attempts, a peer rejects its
+    /// job, or the callback throws (after the remaining partitions wind
+    /// down). `cancel` works exactly like SweepService::run's token and
+    /// may be triggered from the callback.
+    FanoutSummary run(const JsonValue& job, const ResultCallback& on_result,
+                      SweepCancelToken* cancel = nullptr);
+    FanoutSummary run(const std::string& job_line,
+                      const ResultCallback& on_result,
+                      SweepCancelToken* cancel = nullptr);
+
+private:
+    struct Shared;
+
+    void partition_main(Shared& shared, std::size_t partition);
+
+    TransportFactory factory_;
+    FanoutOptions options_;
+};
+
+} // namespace xysig::server
+
+#endif // XYSIG_SERVER_FANOUT_H

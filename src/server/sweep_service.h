@@ -202,6 +202,10 @@ public:
     [[nodiscard]] unsigned worker_count() const noexcept {
         return static_cast<unsigned>(workers_.size());
     }
+    /// Members per work unit for jobs that do not set their own.
+    [[nodiscard]] std::size_t default_shard_size() const noexcept {
+        return options_.shard_size;
+    }
 
     /// Lifetime totals across jobs.
     struct ServiceStats {

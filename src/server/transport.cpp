@@ -1,0 +1,314 @@
+#include "server/transport.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/contracts.h"
+#include "server/wire.h"
+
+namespace xysig::server {
+
+// ----------------------------------------------------------- ProcessTransport
+
+namespace {
+
+[[nodiscard]] std::string errno_message(const char* what) {
+    return std::string("transport: ") + what + " failed: " +
+           std::strerror(errno);
+}
+
+} // namespace
+
+ProcessTransport::ProcessTransport(std::vector<std::string> argv)
+    : argv_(std::move(argv)) {
+    XYSIG_EXPECTS(!argv_.empty());
+    // A worker dying between our poll and our write must surface as
+    // send_line() == false, not kill the coordinator with SIGPIPE.
+    static std::once_flag sigpipe_once;
+    std::call_once(sigpipe_once, [] { ::signal(SIGPIPE, SIG_IGN); });
+
+    // O_CLOEXEC on every pipe end: without it each child would inherit the
+    // pipes of every OTHER live transport, and closing a worker's stdin
+    // would no longer deliver EOF (a sibling still holds a duplicate write
+    // end) — teardown would always eat the kill grace. dup2 clears the
+    // flag on fds 0/1, so the child's own ends survive exec.
+    int to_child[2] = {-1, -1};
+    int from_child[2] = {-1, -1};
+    if (::pipe2(to_child, O_CLOEXEC) != 0)
+        throw Error(errno_message("pipe2"));
+    if (::pipe2(from_child, O_CLOEXEC) != 0) {
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        throw Error(errno_message("pipe2"));
+    }
+
+    // Built BEFORE fork(): in a multithreaded parent another thread may
+    // hold the allocator lock at fork time, so the child must not malloc
+    // between fork and exec.
+    std::vector<char*> cargv;
+    cargv.reserve(argv_.size() + 1);
+    for (std::string& arg : argv_)
+        cargv.push_back(arg.data());
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        for (const int fd : {to_child[0], to_child[1], from_child[0],
+                             from_child[1]})
+            ::close(fd);
+        throw Error(errno_message("fork"));
+    }
+    if (pid == 0) {
+        ::dup2(to_child[0], STDIN_FILENO);
+        ::dup2(from_child[1], STDOUT_FILENO);
+        ::execvp(cargv[0], cargv.data());
+        ::_exit(127); // exec failed; the parent sees EOF and reports closed
+    }
+
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    pid_ = pid;
+    stdin_fd_ = to_child[1];
+    stdout_fd_ = from_child[0];
+}
+
+ProcessTransport::~ProcessTransport() { shutdown(); }
+
+bool ProcessTransport::send_line(const std::string& line) {
+    if (stdin_fd_ < 0)
+        return false;
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t written = 0;
+    while (written < framed.size()) {
+        const ssize_t n = ::write(stdin_fd_, framed.data() + written,
+                                  framed.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false; // EPIPE et al: the child is gone
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+Transport::ReadStatus ProcessTransport::read_line(std::string& out,
+                                                  double timeout_seconds) {
+    while (true) {
+        const std::size_t pos = buffer_.find('\n');
+        if (pos != std::string::npos) {
+            out = buffer_.substr(0, pos);
+            buffer_.erase(0, pos + 1);
+            return ReadStatus::line;
+        }
+        if (stdout_fd_ < 0)
+            return ReadStatus::closed;
+
+        struct pollfd pfd {};
+        pfd.fd = stdout_fd_;
+        pfd.events = POLLIN;
+        const int timeout_ms =
+            timeout_seconds <= 0.0
+                ? -1
+                : static_cast<int>(timeout_seconds * 1000.0) + 1;
+        const int polled = ::poll(&pfd, 1, timeout_ms);
+        if (polled == 0)
+            return ReadStatus::timeout;
+        if (polled < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadStatus::closed;
+        }
+
+        char chunk[4096];
+        const ssize_t n = ::read(stdout_fd_, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadStatus::closed;
+        }
+        if (n == 0) { // EOF; flush a trailing unterminated line if any
+            if (!buffer_.empty()) {
+                out = std::move(buffer_);
+                buffer_.clear();
+                return ReadStatus::line;
+            }
+            return ReadStatus::closed;
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+void ProcessTransport::shutdown() {
+    if (stdin_fd_ >= 0) {
+        ::close(stdin_fd_); // the server's request loop exits on stdin EOF
+        stdin_fd_ = -1;
+    }
+    if (stdout_fd_ >= 0) {
+        // Close the read side BEFORE reaping: a child mid-stream can be
+        // blocked in write() on a full stdout pipe (nobody reads it once we
+        // decided to tear the peer down); with the read end gone it dies on
+        // EPIPE instead of eating the whole kill grace below.
+        ::close(stdout_fd_);
+        stdout_fd_ = -1;
+    }
+    if (pid_ > 0) {
+        const pid_t pid = static_cast<pid_t>(pid_);
+        bool reaped = false;
+        // ~2 s of grace for a clean exit, then SIGKILL a wedged child — a
+        // worker being torn down is by definition not trusted to cooperate.
+        for (int i = 0; i < 200 && !reaped; ++i) {
+            int status = 0;
+            const pid_t r = ::waitpid(pid, &status, WNOHANG);
+            if (r == pid || (r < 0 && errno != EINTR)) {
+                reaped = true;
+                break;
+            }
+            ::usleep(10'000);
+        }
+        if (!reaped) {
+            ::kill(pid, SIGKILL);
+            int status = 0;
+            while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+            }
+        }
+        pid_ = -1;
+    }
+}
+
+std::string ProcessTransport::describe() const {
+    return "process[" + (pid_ > 0 ? std::to_string(pid_) : "dead") + ", " +
+           argv_.front() + "]";
+}
+
+// ---------------------------------------------------------- LoopbackTransport
+
+LoopbackTransport::LoopbackTransport(Options options) : options_(options) {
+    SweepServiceOptions sopts;
+    sopts.workers = options_.workers;
+    sopts.shard_size = options_.shard_size;
+    service_ = std::make_unique<SweepService>(
+        make_paper_pipeline(options_.samples_per_period), sopts);
+    session_ = std::make_unique<ServerSession>(
+        *service_, [this](const std::string& line) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (dead_)
+                return; // a crashed process emits nothing further
+            responses_.push_back(line);
+            if (options_.die_after_results != 0 &&
+                line.find("\"event\":\"result\"") != std::string::npos &&
+                ++results_emitted_ >= options_.die_after_results) {
+                // Simulated worker death: exactly die_after_results result
+                // lines made it out, everything after is lost. Cancel the
+                // in-flight job so the session thread winds down.
+                dead_ = true;
+                session_->cancel("");
+            }
+            response_cv_.notify_all();
+        });
+    thread_ = std::thread([this] { server_main(); });
+}
+
+LoopbackTransport::~LoopbackTransport() { shutdown(); }
+
+void LoopbackTransport::server_main() {
+    session_->emit_ready(options_.samples_per_period);
+    while (true) {
+        std::string line;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            request_cv_.wait(lock,
+                             [&] { return stopping_ || !requests_.empty(); });
+            if (stopping_ || dead_)
+                break;
+            line = std::move(requests_.front());
+            requests_.pop_front();
+        }
+        if (!session_->handle_line(line))
+            break; // quit
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_ || dead_)
+            break;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    dead_ = true;
+    response_cv_.notify_all();
+}
+
+bool LoopbackTransport::send_line(const std::string& line) {
+    // Cancel commands are applied on receipt, not queued: the session
+    // thread is blocked inside the running job and would only pop the
+    // queue after it finished — exactly when cancelling is pointless.
+    // (sweep_server's stdin reader thread does the same interception.)
+    if (line.find("\"cmd\":\"cancel\"") != std::string::npos) {
+        try {
+            const JsonValue v = JsonValue::parse(line);
+            if (v.is_object() && v.string_or("cmd", "") == "cancel") {
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    if (dead_ || stopping_)
+                        return false;
+                }
+                session_->cancel(v.string_or("id", ""));
+                return true;
+            }
+        } catch (const std::exception&) {
+            // fall through: not actually a cancel command; queue it
+        }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dead_ || stopping_)
+        return false;
+    requests_.push_back(line);
+    request_cv_.notify_all();
+    return true;
+}
+
+Transport::ReadStatus LoopbackTransport::read_line(std::string& out,
+                                                   double timeout_seconds) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto readable = [&] { return !responses_.empty() || dead_; };
+    if (timeout_seconds <= 0.0) {
+        response_cv_.wait(lock, readable);
+    } else if (!response_cv_.wait_for(
+                   lock, std::chrono::duration<double>(timeout_seconds),
+                   readable)) {
+        return ReadStatus::timeout;
+    }
+    if (!responses_.empty()) { // drain buffered lines before reporting death
+        out = std::move(responses_.front());
+        responses_.pop_front();
+        return ReadStatus::line;
+    }
+    return ReadStatus::closed;
+}
+
+void LoopbackTransport::shutdown() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        request_cv_.notify_all();
+    }
+    if (session_ != nullptr)
+        session_->cancel(""); // unblock an in-flight job promptly
+    if (thread_.joinable())
+        thread_.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    dead_ = true;
+    response_cv_.notify_all();
+}
+
+std::string LoopbackTransport::describe() const {
+    return "loopback[workers=" + std::to_string(options_.workers) +
+           ", shard=" + std::to_string(options_.shard_size) + "]";
+}
+
+} // namespace xysig::server

@@ -1,0 +1,543 @@
+#include "server/wire.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/strings.h"
+#include "core/golden_cache.h"
+#include "core/paper_setup.h"
+#include "filter/tow_thomas.h"
+#include "monitor/table1.h"
+
+namespace xysig::server {
+
+std::size_t index_field(const JsonValue& v, const char* what) {
+    constexpr double kMaxExactInteger = 9007199254740992.0; // 2^53
+    const double n = v.as_number();
+    if (!(n >= 0.0) || n != std::floor(n) || n > kMaxExactInteger)
+        throw InvalidInput(std::string("wire: ") + what +
+                           " must be a non-negative integer (<= 2^53)");
+    return static_cast<std::size_t>(n);
+}
+
+namespace {
+
+[[nodiscard]] std::size_t index_or(const JsonValue& obj, const char* key,
+                                   std::size_t fallback) {
+    return obj.has(key) ? index_field(obj.at(key), key) : fallback;
+}
+
+} // namespace
+
+core::SignaturePipeline make_paper_pipeline(std::size_t samples_per_period) {
+    core::PipelineOptions opts;
+    opts.samples_per_period = samples_per_period;
+    return core::SignaturePipeline(monitor::build_table1_bank(),
+                                   core::paper_stimulus(), opts);
+}
+
+std::string signature_string(const capture::Chronogram& ch) {
+    std::string out;
+    for (const auto& ev : ch.events()) {
+        if (!out.empty())
+            out.push_back(';');
+        out += std::to_string(ev.code);
+        out.push_back('@');
+        out += format_double_exact(ev.t);
+    }
+    return out;
+}
+
+// ------------------------------------------------------------ job decoding
+
+WireJob parse_wire_job(const JsonValue& v) {
+    WireJob wire;
+    if (v.has("version")) {
+        const double ver = v.at("version").as_number();
+        if (ver != std::floor(ver) || ver < 1)
+            throw InvalidInput("wire: version must be a positive integer");
+        if (ver > kProtocolVersion)
+            throw InvalidInput(
+                "wire: unsupported protocol version " +
+                std::to_string(static_cast<long long>(ver)) + " (this build speaks " +
+                std::to_string(kProtocolVersion) + ")");
+        wire.version = static_cast<int>(ver);
+    }
+    wire.id = v.string_or("id", "");
+
+    const std::string kind = v.at("job").as_string();
+    if (kind == "deviations") {
+        const std::string param = v.string_or("parameter", "f0");
+        if (param != "f0" && param != "q")
+            throw InvalidInput("wire: parameter must be 'f0' or 'q'");
+        wire.parameter = param == "f0" ? core::SweptParameter::f0
+                                       : core::SweptParameter::q;
+        if (v.has("deviations")) {
+            for (const JsonValue& d : v.at("deviations").as_array())
+                wire.deviations.push_back(d.as_number());
+        } else {
+            const JsonValue& grid = v.at("grid");
+            const double from = grid.at("from").as_number();
+            const double to = grid.at("to").as_number();
+            const std::size_t count = index_field(grid.at("count"), "grid.count");
+            if (count < 2)
+                throw InvalidInput("wire: grid.count must be >= 2");
+            for (std::size_t i = 0; i < count; ++i)
+                wire.deviations.push_back(from + (to - from) *
+                                                     static_cast<double>(i) /
+                                                     static_cast<double>(count - 1));
+        }
+    } else if (kind == "spice_faults") {
+        auto circuit = filter::build_tow_thomas(filter::TowThomasDesign::from_biquad(
+            core::paper_biquad().design(), 10e3));
+        capture::FaultUniverseOptions fopts;
+        fopts.bridge_resistance = v.number_or("bridge_resistance", 100.0);
+        fopts.open_factor = v.number_or("open_factor", 1e6);
+        fopts.bridge_to_ground = v.bool_or("bridge_to_ground", false);
+        const std::string universe = v.string_or("universe", "bridging+open");
+        if (universe.find("bridging") != std::string::npos)
+            wire.faults =
+                capture::enumerate_bridging_faults(circuit.netlist, fopts);
+        if (universe.find("open") != std::string::npos) {
+            const auto opens =
+                capture::enumerate_open_faults(circuit.netlist, fopts);
+            wire.faults.insert(wire.faults.end(), opens.begin(), opens.end());
+        }
+        if (wire.faults.empty())
+            throw InvalidInput(
+                "wire: universe must name 'bridging' and/or 'open'");
+        wire.observation = {circuit.input_source, circuit.input_node,
+                            circuit.lp_node,
+                            static_cast<int>(index_or(v, "settle_periods", 2))};
+        wire.nominal =
+            std::make_shared<spice::Netlist>(std::move(circuit.netlist));
+        wire.is_spice = true;
+    } else {
+        throw InvalidInput("wire: unknown job kind '" + kind + "'");
+    }
+
+    // Member-range slicing (the fan-out seam). The full universe above was
+    // built from global ids, so slicing here cannot change any member's
+    // value — partition bit-identity is by construction.
+    wire.universe_members =
+        wire.is_spice ? wire.faults.size() : wire.deviations.size();
+    std::size_t first = 0;
+    std::size_t count = wire.universe_members;
+    if (v.has("members")) {
+        const JsonValue& m = v.at("members");
+        first = index_field(m.at("first"), "members.first");
+        if (first > wire.universe_members)
+            throw InvalidInput("wire: members.first is past the universe end");
+        count = index_or(m, "count", wire.universe_members - first);
+        if (first + count > wire.universe_members)
+            throw InvalidInput("wire: members range is past the universe end");
+    }
+    wire.member_offset = first;
+    if (wire.is_spice) {
+        wire.faults = std::vector<capture::NetlistFault>(
+            wire.faults.begin() + static_cast<std::ptrdiff_t>(first),
+            wire.faults.begin() + static_cast<std::ptrdiff_t>(first + count));
+        wire.job = SweepJob::fault_universe(wire.nominal, wire.faults,
+                                            wire.observation);
+    } else {
+        wire.deviations = std::vector<double>(
+            wire.deviations.begin() + static_cast<std::ptrdiff_t>(first),
+            wire.deviations.begin() + static_cast<std::ptrdiff_t>(first + count));
+        wire.job = SweepJob::deviation_grid(core::paper_biquad(),
+                                            wire.deviations, wire.parameter);
+    }
+
+    wire.job.shard_size = index_or(v, "shard_size", 0);
+    wire.progress_every = index_or(v, "progress_every", 0);
+    wire.cancel_after = index_or(v, "cancel_after", 0);
+    wire.emit_signatures = v.bool_or("emit_signatures", true);
+    wire.verify_serial = v.bool_or("verify_serial", false);
+    return wire;
+}
+
+std::vector<double> wire_serial_reference(const WireJob& job,
+                                          const core::SignaturePipeline& pipe) {
+    std::vector<double> out;
+    core::NdfScratch scratch;
+    if (job.is_spice) {
+        const auto universe = core::BatchNdfEvaluator::build_fault_universe(
+            *job.nominal, job.faults, job.observation);
+        out.reserve(universe.size());
+        for (const auto& cut : universe) {
+            try {
+                out.push_back(pipe.ndf_of(*cut, scratch));
+            } catch (const NumericError&) {
+                out.push_back(std::numeric_limits<double>::quiet_NaN());
+            }
+        }
+        return out;
+    }
+    const filter::Biquad nominal = core::paper_biquad();
+    out.reserve(job.deviations.size());
+    for (const double dev : job.deviations) {
+        const double frac = dev / 100.0;
+        const filter::BehaviouralCut cut(job.parameter == core::SweptParameter::f0
+                                             ? nominal.with_f0_shift(frac)
+                                             : nominal.with_q_shift(frac));
+        try {
+            out.push_back(pipe.ndf_of(cut, scratch));
+        } catch (const NumericError&) {
+            out.push_back(std::numeric_limits<double>::quiet_NaN());
+        }
+    }
+    return out;
+}
+
+// ------------------------------------------------------- schema validation
+
+namespace {
+
+enum class FieldKind { number, string, boolean, object, number_or_null };
+
+struct FieldSpec {
+    const char* key;
+    FieldKind kind;
+    bool required;
+};
+
+void check_fields(const JsonValue& v, const std::string& what,
+                  std::initializer_list<FieldSpec> specs) {
+    for (const FieldSpec& spec : specs) {
+        if (!v.has(spec.key)) {
+            if (spec.required)
+                throw InvalidInput("wire: " + what + " is missing required field '" +
+                                   spec.key + "'");
+            continue;
+        }
+        const JsonValue& field = v.at(spec.key);
+        const bool ok = [&] {
+            switch (spec.kind) {
+            case FieldKind::number: return field.is_number();
+            case FieldKind::string: return field.is_string();
+            case FieldKind::boolean: return field.is_bool();
+            case FieldKind::object: return field.is_object();
+            case FieldKind::number_or_null:
+                return field.is_number() || field.is_null();
+            }
+            return false;
+        }();
+        if (!ok)
+            throw InvalidInput("wire: " + what + " field '" + spec.key +
+                               "' has the wrong JSON type");
+    }
+}
+
+void check_event(const JsonValue& v) {
+    const std::string event = v.at("event").as_string();
+    const FieldSpec id_opt{"id", FieldKind::string, false};
+    if (event == "ready") {
+        check_fields(v, "ready event",
+                     {{"version", FieldKind::number, true},
+                      {"workers", FieldKind::number, true},
+                      {"shard_size", FieldKind::number, true},
+                      {"samples_per_period", FieldKind::number, true}});
+    } else if (event == "job_start") {
+        check_fields(v, "job_start event",
+                     {id_opt,
+                      {"version", FieldKind::number, true},
+                      {"members", FieldKind::number, true},
+                      {"first_member", FieldKind::number, true},
+                      {"universe_members", FieldKind::number, true},
+                      {"workers", FieldKind::number, true}});
+    } else if (event == "result") {
+        check_fields(v, "result event",
+                     {id_opt,
+                      {"member", FieldKind::number, true},
+                      {"ndf", FieldKind::number_or_null, true},
+                      {"ndf_hex", FieldKind::string, true},
+                      {"label", FieldKind::string, true},
+                      {"signature", FieldKind::string, false},
+                      {"zone_visits", FieldKind::number, false}});
+    } else if (event == "progress") {
+        check_fields(v, "progress event",
+                     {id_opt,
+                      {"done", FieldKind::number, true},
+                      {"total", FieldKind::number, true}});
+    } else if (event == "job_done") {
+        check_fields(v, "job_done event",
+                     {id_opt,
+                      {"members_total", FieldKind::number, true},
+                      {"members_done", FieldKind::number, true},
+                      {"shards_total", FieldKind::number, true},
+                      {"shards_done", FieldKind::number, true},
+                      {"cancelled", FieldKind::boolean, true},
+                      {"seconds", FieldKind::number, true},
+                      {"netlist_clones", FieldKind::number, true},
+                      {"shard_seconds_min", FieldKind::number, true},
+                      {"shard_seconds_max", FieldKind::number, true},
+                      {"shard_seconds_mean", FieldKind::number, true}});
+    } else if (event == "verify") {
+        if (v.has("skipped_cancelled")) {
+            check_fields(v, "verify event",
+                         {id_opt, {"skipped_cancelled", FieldKind::boolean, true}});
+        } else {
+            check_fields(v, "verify event",
+                         {id_opt,
+                          {"bit_identical", FieldKind::boolean, true},
+                          {"members", FieldKind::number, true}});
+        }
+    } else if (event == "stats") {
+        check_fields(v, "stats event",
+                     {{"jobs", FieldKind::number, true},
+                      {"members", FieldKind::number, true},
+                      {"shards", FieldKind::number, true},
+                      {"netlist_clones", FieldKind::number, true},
+                      {"workers", FieldKind::number, true},
+                      {"golden_cache", FieldKind::object, true}});
+    } else if (event == "error") {
+        check_fields(v, "error event",
+                     {id_opt, {"message", FieldKind::string, true}});
+    } else {
+        throw InvalidInput("wire: unknown event '" + event + "'");
+    }
+}
+
+void check_command(const JsonValue& v) {
+    const std::string cmd = v.at("cmd").as_string();
+    if (cmd != "stats" && cmd != "quit" && cmd != "cancel")
+        throw InvalidInput("wire: unknown cmd '" + cmd + "'");
+    check_fields(v, "'" + cmd + "' command", {{"id", FieldKind::string, false}});
+}
+
+} // namespace
+
+void check_protocol_line(const std::string& line) {
+    const JsonValue v = JsonValue::parse(line);
+    if (!v.is_object())
+        throw InvalidInput("wire: a protocol line must be a JSON object");
+    if (v.has("event")) {
+        check_event(v);
+    } else if (v.has("cmd")) {
+        check_command(v);
+    } else if (v.has("job")) {
+        (void)parse_wire_job(v); // full decode, universe enumeration included
+    } else {
+        throw InvalidInput(
+            "wire: line is neither an event, a command, nor a job");
+    }
+}
+
+// ------------------------------------------------------------ ServerSession
+
+ServerSession::ServerSession(SweepService& service, LineSink sink)
+    : service_(service), sink_(std::move(sink)) {
+    XYSIG_EXPECTS(sink_ != nullptr);
+}
+
+void ServerSession::emit(const JsonValue::Object& obj) {
+    sink_(JsonValue(obj).dump());
+}
+
+void ServerSession::emit_error(const std::string& id,
+                               const std::string& message) {
+    JsonValue::Object o;
+    o.emplace("event", "error");
+    if (!id.empty())
+        o.emplace("id", id);
+    o.emplace("message", message);
+    emit(o);
+}
+
+void ServerSession::emit_ready(std::size_t samples_per_period) {
+    JsonValue::Object o;
+    o.emplace("event", "ready");
+    o.emplace("version", kProtocolVersion);
+    o.emplace("workers", static_cast<std::size_t>(service_.worker_count()));
+    o.emplace("shard_size", service_.default_shard_size());
+    o.emplace("samples_per_period", samples_per_period);
+    emit(o);
+}
+
+void ServerSession::cancel(const std::string& id) {
+    std::lock_guard<std::mutex> lock(cancel_mutex_);
+    if (active_cancel_ != nullptr && (id.empty() || id == active_id_))
+        active_cancel_->cancel();
+}
+
+bool ServerSession::handle_line(const std::string& line) {
+    std::string id;
+    try {
+        const JsonValue v = JsonValue::parse(line);
+        id = v.string_or("id", "");
+        if (v.has("cmd")) {
+            const std::string cmd = v.at("cmd").as_string();
+            if (cmd == "quit")
+                return false;
+            if (cmd == "stats") {
+                emit_stats();
+                return true;
+            }
+            if (cmd == "cancel") {
+                // Normally intercepted by the peer's reader thread while a
+                // job is running; between jobs it is a no-op by design.
+                cancel(id);
+                return true;
+            }
+            throw InvalidInput("wire: unknown cmd '" + cmd + "'");
+        }
+        run_job(v);
+    } catch (const std::exception& e) {
+        emit_error(id, e.what());
+    }
+    return true;
+}
+
+void ServerSession::run_job(const JsonValue& v) {
+    // Register the cancel token BEFORE decoding: parse_wire_job can take
+    // milliseconds for SPICE jobs (netlist build, universe enumeration),
+    // and a cancel() landing in that window must not be silently dropped —
+    // the fan-out driver sends its cancel exactly once per partition.
+    SweepCancelToken cancel_token;
+    {
+        std::lock_guard<std::mutex> lock(cancel_mutex_);
+        active_cancel_ = &cancel_token;
+        active_id_ = v.is_object() ? v.string_or("id", "") : std::string();
+    }
+    // Deregister on every exit path: a dangling token pointer would let a
+    // late cancel() poke freed stack memory.
+    struct Deregister {
+        ServerSession* self;
+        ~Deregister() {
+            std::lock_guard<std::mutex> lock(self->cancel_mutex_);
+            self->active_cancel_ = nullptr;
+            self->active_id_.clear();
+        }
+    } deregister{this};
+
+    WireJob wire = parse_wire_job(v);
+    const std::string& id = wire.id;
+
+    {
+        JsonValue::Object o;
+        o.emplace("event", "job_start");
+        if (!id.empty())
+            o.emplace("id", id);
+        o.emplace("version", kProtocolVersion);
+        o.emplace("members", wire.job.size());
+        o.emplace("first_member", wire.member_offset);
+        o.emplace("universe_members", wire.universe_members);
+        o.emplace("workers", static_cast<std::size_t>(service_.worker_count()));
+        emit(o);
+    }
+
+    std::vector<double> streamed;
+    streamed.reserve(wire.job.size());
+    std::size_t delivered = 0;
+    const auto on_result = [&](const SweepResult& r) {
+        streamed.push_back(r.ndf);
+        ++delivered;
+        JsonValue::Object o;
+        o.emplace("event", "result");
+        if (!id.empty())
+            o.emplace("id", id);
+        o.emplace("member", wire.member_offset + r.member_id);
+        o.emplace("ndf", r.ndf);
+        o.emplace("ndf_hex", format_double_exact(r.ndf));
+        o.emplace("label", r.label);
+        if (wire.emit_signatures && r.signature.has_value()) {
+            o.emplace("signature", signature_string(*r.signature));
+            o.emplace("zone_visits", r.signature->zone_visits());
+        }
+        emit(o);
+        if (wire.progress_every != 0 && delivered % wire.progress_every == 0) {
+            JsonValue::Object p;
+            p.emplace("event", "progress");
+            if (!id.empty())
+                p.emplace("id", id);
+            p.emplace("done", delivered);
+            p.emplace("total", wire.job.size());
+            emit(p);
+        }
+        if (wire.cancel_after != 0 && delivered >= wire.cancel_after)
+            cancel_token.cancel();
+    };
+
+    const JobSummary summary = service_.run(wire.job, on_result, &cancel_token);
+
+    {
+        double shard_min = 0.0, shard_max = 0.0, shard_sum = 0.0;
+        for (const auto& st : summary.shard_timings) {
+            shard_min = (shard_min == 0.0 || st.seconds < shard_min)
+                            ? st.seconds
+                            : shard_min;
+            shard_max = std::max(shard_max, st.seconds);
+            shard_sum += st.seconds;
+        }
+        JsonValue::Object o;
+        o.emplace("event", "job_done");
+        if (!id.empty())
+            o.emplace("id", id);
+        o.emplace("members_total", summary.members_total);
+        o.emplace("members_done", summary.members_done);
+        o.emplace("shards_total", summary.shards_total);
+        o.emplace("shards_done", summary.shards_done);
+        o.emplace("cancelled", summary.cancelled);
+        o.emplace("seconds", summary.seconds);
+        o.emplace("netlist_clones", summary.netlist_clones);
+        o.emplace("shard_seconds_min", shard_min);
+        o.emplace("shard_seconds_max", shard_max);
+        o.emplace("shard_seconds_mean",
+                  summary.shard_timings.empty()
+                      ? 0.0
+                      : shard_sum / static_cast<double>(
+                                        summary.shard_timings.size()));
+        emit(o);
+    }
+
+    if (wire.verify_serial && summary.cancelled) {
+        // A cancelled job has a legitimately incomplete stream; that is not
+        // a verification failure, there is just nothing to compare against.
+        JsonValue::Object o;
+        o.emplace("event", "verify");
+        if (!id.empty())
+            o.emplace("id", id);
+        o.emplace("skipped_cancelled", true);
+        emit(o);
+    } else if (wire.verify_serial) {
+        const std::vector<double> reference =
+            wire_serial_reference(wire, service_.pipeline());
+        bool identical = streamed.size() == reference.size();
+        if (identical)
+            for (std::size_t i = 0; i < reference.size(); ++i)
+                identical = identical &&
+                            format_double_exact(streamed[i]) ==
+                                format_double_exact(reference[i]);
+        all_verified_ = all_verified_ && identical;
+        JsonValue::Object o;
+        o.emplace("event", "verify");
+        if (!id.empty())
+            o.emplace("id", id);
+        o.emplace("bit_identical", identical);
+        o.emplace("members", reference.size());
+        emit(o);
+    }
+}
+
+void ServerSession::emit_stats() {
+    const auto stats = service_.stats();
+    const auto& cache = core::GoldenSignatureCache::instance();
+    JsonValue::Object cache_obj;
+    cache_obj.emplace("hits", cache.hits());
+    cache_obj.emplace("misses", cache.misses());
+    cache_obj.emplace("size", cache.size());
+    cache_obj.emplace("evictions", cache.evictions());
+    cache_obj.emplace("capacity", cache.capacity());
+    JsonValue::Object o;
+    o.emplace("event", "stats");
+    o.emplace("jobs", stats.jobs);
+    o.emplace("members", stats.members);
+    o.emplace("shards", stats.shards);
+    o.emplace("netlist_clones", stats.netlist_clones);
+    o.emplace("workers", static_cast<std::size_t>(service_.worker_count()));
+    o.emplace("golden_cache", std::move(cache_obj));
+    emit(o);
+}
+
+} // namespace xysig::server

@@ -1,0 +1,153 @@
+#ifndef XYSIG_SERVER_WIRE_H
+#define XYSIG_SERVER_WIRE_H
+
+/// \file wire.h
+/// The NDJSON wire protocol spoken by `sweep_server` and the fan-out
+/// driver: one JSON request (job or command) per line in, one JSON event
+/// per line out. docs/PROTOCOL.md is the normative field-by-field spec;
+/// this header is its implementation surface:
+///
+///  * parse_wire_job — decodes a job line into a runnable server::SweepJob
+///    plus everything a serial re-verification needs (protocol version
+///    check, unknown-field-tolerant, member-range slicing for fan-out
+///    partitions);
+///  * ServerSession — runs decoded requests against a SweepService and
+///    emits the event stream through a line sink; one instance per
+///    protocol peer (stdin/stdout in sweep_server, an in-process queue
+///    pair in LoopbackTransport);
+///  * check_protocol_line — strict schema validation of any protocol line
+///    (request or event), used by `sweep_server --check` so CI can replay
+///    the PROTOCOL.md examples against the real parser.
+///
+/// Versioning: requests may carry `"version"` (integer). Absent means
+/// version 1 — every PR-4 job line is a valid version-1 job. A version
+/// above kProtocolVersion is rejected with an error event. Both sides
+/// must ignore unknown fields, so minor additions never break old peers.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/json.h"
+#include "server/sweep_service.h"
+
+namespace xysig::server {
+
+/// Protocol version this build speaks (echoed on ready/job_start events).
+inline constexpr int kProtocolVersion = 1;
+
+/// The pipeline every wire peer runs: the paper's Table-I monitor bank
+/// over the paper stimulus. Fan-out bit-identity relies on coordinator
+/// and workers building this identically, so it lives here, not in the
+/// example binaries.
+[[nodiscard]] core::SignaturePipeline
+make_paper_pipeline(std::size_t samples_per_period);
+
+/// Compact exact signature string: "code@t;code@t;..." with hexfloat
+/// times, so two strings compare equal iff the chronograms are
+/// bit-identical.
+[[nodiscard]] std::string signature_string(const capture::Chronogram& ch);
+
+/// Non-negative integer out of a wire JSON number, bounded at 2^53 (above
+/// that a double cannot represent every integer, and an unchecked cast to
+/// size_t would be UB on untrusted input). Throws InvalidInput; `what`
+/// names the field in the message. Shared by the job decoder and the
+/// fan-out driver's event reader — both parse untrusted peers.
+[[nodiscard]] std::size_t index_field(const JsonValue& v, const char* what);
+
+/// One decoded job line: the runnable SweepJob plus the universe pieces a
+/// serial re-verification needs, plus the per-job wire options.
+struct WireJob {
+    SweepJob job;
+
+    /// Universe members before any "members" range slicing.
+    std::size_t universe_members = 0;
+    /// Global member id of this job's local member 0 ("members".first).
+    std::size_t member_offset = 0;
+
+    // Universe pieces (already sliced to the member range).
+    std::vector<double> deviations; ///< deviation jobs
+    core::SweptParameter parameter = core::SweptParameter::f0;
+    bool is_spice = false;
+    std::vector<capture::NetlistFault> faults; ///< spice jobs
+    std::shared_ptr<const spice::Netlist> nominal;
+    core::SpiceObservation observation{};
+
+    // Wire options.
+    int version = 1;
+    std::string id;
+    std::size_t progress_every = 0;
+    std::size_t cancel_after = 0;
+    bool emit_signatures = true;
+    bool verify_serial = false;
+};
+
+/// Decodes one job object (already JSON-parsed). Throws InvalidInput on a
+/// schema violation or an unsupported protocol version; ignores unknown
+/// fields. Deviation grids are materialised over the FULL universe before
+/// the member range is sliced out, so a member's deviation value is a
+/// function of its global id only — that is what keeps fan-out partitions
+/// bit-identical to the unpartitioned job.
+[[nodiscard]] WireJob parse_wire_job(const JsonValue& v);
+
+/// Serial reference evaluation of the (sliced) universe — clone per fault
+/// for SPICE jobs, i.e. the independent check of the service's
+/// clone-reuse scheme.
+[[nodiscard]] std::vector<double>
+wire_serial_reference(const WireJob& job, const core::SignaturePipeline& pipe);
+
+/// Validates one protocol line — request (job/cmd) or event — against the
+/// schema in docs/PROTOCOL.md: required fields present with the right
+/// JSON types, event/cmd names known. Unknown extra fields are tolerated
+/// (the version rule). Throws InvalidInput with a reason on violation.
+void check_protocol_line(const std::string& line);
+
+/// Runs wire requests against a SweepService and emits NDJSON event lines
+/// through the sink. handle_line() is the blocking per-request entry
+/// point; cancel() may be called concurrently from another thread (the
+/// stdin reader in sweep_server, the fan-out coordinator via
+/// LoopbackTransport) to cooperatively cancel the in-flight job.
+class ServerSession {
+public:
+    using LineSink = std::function<void(const std::string& line)>;
+
+    ServerSession(SweepService& service, LineSink sink);
+
+    /// Emits the ready banner (version, workers, shard_size, spp).
+    void emit_ready(std::size_t samples_per_period);
+
+    /// Processes one request line. Returns false when the request was
+    /// {"cmd":"quit"}; protocol errors are reported as error events (and
+    /// keep the session alive), they are not thrown.
+    bool handle_line(const std::string& line);
+
+    /// Cooperative cancel of the in-flight job when `id` matches its id
+    /// (empty id = cancel whatever is running). No-op between jobs.
+    void cancel(const std::string& id);
+
+    /// False once any verify_serial check has failed (sweep_server exits
+    /// non-zero on this).
+    [[nodiscard]] bool all_verified() const noexcept { return all_verified_; }
+
+private:
+    void emit(const JsonValue::Object& obj);
+    void emit_error(const std::string& id, const std::string& message);
+    void run_job(const JsonValue& v);
+    void emit_stats();
+
+    SweepService& service_;
+    LineSink sink_;
+    bool all_verified_ = true;
+
+    std::mutex cancel_mutex_; ///< guards the two fields below
+    SweepCancelToken* active_cancel_ = nullptr;
+    std::string active_id_;
+};
+
+} // namespace xysig::server
+
+#endif // XYSIG_SERVER_WIRE_H

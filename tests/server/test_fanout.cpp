@@ -1,0 +1,366 @@
+// FanoutDriver guarantees: the merged multi-process result stream is
+// bit-identical to a single-process SweepService::run over the same
+// universe at any partition count — across empty partitions,
+// single-member partitions, NaN members straddling partition boundaries,
+// worker death mid-partition (re-dispatch), and cooperative cancellation
+// fan-out. All tests use LoopbackTransport: a real ServerSession speaking
+// the real wire format, deterministically in-process.
+
+#include "server/fanout.h"
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "server/transport.h"
+#include "server/wire.h"
+
+namespace xysig::server {
+namespace {
+
+constexpr std::size_t kSpp = 256;
+
+[[nodiscard]] FanoutDriver::TransportFactory
+loopback_factory(std::size_t die_after_results = 0) {
+    LoopbackTransport::Options opts;
+    opts.workers = 2;
+    opts.shard_size = 8;
+    opts.samples_per_period = kSpp;
+    opts.die_after_results = die_after_results;
+    return [opts] { return std::make_unique<LoopbackTransport>(opts); };
+}
+
+struct ExpectedMember {
+    std::string ndf_hex;
+    std::optional<std::string> signature;
+};
+
+/// Single-process reference over the same wire job (the thing the merged
+/// stream must be bit-identical to).
+[[nodiscard]] std::vector<ExpectedMember>
+single_process_reference(const std::string& job_line) {
+    WireJob wire = parse_wire_job(JsonValue::parse(job_line));
+    SweepServiceOptions sopts;
+    sopts.workers = 2;
+    SweepService service(make_paper_pipeline(kSpp), sopts);
+    std::vector<ExpectedMember> out;
+    (void)service.run(wire.job, [&](const SweepResult& r) {
+        ExpectedMember m;
+        m.ndf_hex = format_double_exact(r.ndf);
+        if (r.signature.has_value())
+            m.signature = signature_string(*r.signature);
+        out.push_back(std::move(m));
+    });
+    return out;
+}
+
+void expect_merged_identical(const std::vector<FanoutRecord>& merged,
+                             const std::vector<ExpectedMember>& reference) {
+    ASSERT_EQ(merged.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(merged[i].member, i);
+        EXPECT_EQ(merged[i].ndf_hex, reference[i].ndf_hex) << "member " << i;
+        EXPECT_EQ(merged[i].signature, reference[i].signature)
+            << "member " << i;
+    }
+}
+
+TEST(FanoutDriver, DeviationGridMergedBitIdenticalAtMultiplePartitionCounts) {
+    // The acceptance gate: a >= 1200-member deviation grid, merged streams
+    // at >= 2 partition counts, bit-identical to one in-process run.
+    const std::string job =
+        R"({"job":"deviations","grid":{"from":-20,"to":20,"count":1200},"shard_size":16})";
+    const auto reference = single_process_reference(job);
+    ASSERT_EQ(reference.size(), 1200u);
+
+    for (const unsigned partitions : {2u, 4u}) {
+        FanoutOptions opts;
+        opts.partitions = partitions;
+        opts.verify_single_process = true;
+        FanoutDriver driver(loopback_factory(), opts);
+
+        std::vector<FanoutRecord> merged;
+        const FanoutSummary summary = driver.run(
+            job, [&](const FanoutRecord& r) { merged.push_back(r); });
+
+        expect_merged_identical(merged, reference);
+        EXPECT_TRUE(summary.verify_ran);
+        EXPECT_TRUE(summary.verify_identical) << partitions << " partitions";
+        EXPECT_EQ(summary.members_total, 1200u);
+        EXPECT_EQ(summary.members_done, 1200u);
+        EXPECT_EQ(summary.redispatches, 0u);
+        EXPECT_FALSE(summary.cancelled);
+        EXPECT_EQ(summary.samples_per_period, kSpp);
+        ASSERT_EQ(summary.partitions.size(), partitions);
+        std::size_t covered = 0;
+        for (const PartitionOutcome& p : summary.partitions) {
+            EXPECT_EQ(p.members_done, p.member_count);
+            EXPECT_EQ(p.attempts, 1u);
+            covered += p.member_count;
+        }
+        EXPECT_EQ(covered, 1200u);
+    }
+}
+
+TEST(FanoutDriver, SpiceFaultUniverseMergedBitIdenticalIncludingNaN) {
+    // The 29-fault Tow-Thomas universe contains members with no stable
+    // solution (quiet-NaN NDFs, no signature); they must merge exactly
+    // like finite members.
+    const std::string job =
+        R"({"job":"spice_faults","universe":"bridging+open","settle_periods":2,"shard_size":2})";
+    const auto reference = single_process_reference(job);
+    ASSERT_GE(reference.size(), 29u);
+
+    for (const unsigned partitions : {2u, 3u}) {
+        FanoutOptions opts;
+        opts.partitions = partitions;
+        opts.verify_single_process = true;
+        FanoutDriver driver(loopback_factory(), opts);
+
+        std::vector<FanoutRecord> merged;
+        bool any_nan = false;
+        const FanoutSummary summary =
+            driver.run(job, [&](const FanoutRecord& r) {
+                merged.push_back(r);
+                if (std::isnan(r.ndf)) {
+                    any_nan = true;
+                    EXPECT_FALSE(r.signature.has_value());
+                }
+            });
+
+        expect_merged_identical(merged, reference);
+        EXPECT_TRUE(any_nan);
+        EXPECT_TRUE(summary.verify_identical) << partitions << " partitions";
+        // Clone-per-worker still holds per partition (each loopback peer
+        // runs 2 workers, plus one golden clone per peer).
+        for (const PartitionOutcome& p : summary.partitions)
+            if (p.member_count > 0)
+                EXPECT_LE(p.netlist_clones, 2u);
+    }
+}
+
+TEST(FanoutDriver, NaNMembersStraddlingAPartitionBoundary) {
+    const std::string job =
+        R"({"job":"spice_faults","universe":"bridging+open","settle_periods":2})";
+    const auto reference = single_process_reference(job);
+
+    // Find a NaN member and put partition boundaries right at it: the NaN
+    // becomes a single-member partition, its neighbours end/start the
+    // adjacent partitions.
+    std::size_t nan_member = reference.size();
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        if (reference[i].ndf_hex == format_double_exact(
+                                        std::numeric_limits<double>::quiet_NaN())) {
+            nan_member = i;
+            break;
+        }
+    }
+    ASSERT_LT(nan_member, reference.size()) << "universe lost its NaN members";
+    ASSERT_GT(nan_member, 0u);
+
+    FanoutOptions opts;
+    opts.partition_starts = {0, nan_member, nan_member + 1};
+    opts.verify_single_process = true;
+    FanoutDriver driver(loopback_factory(), opts);
+
+    std::vector<FanoutRecord> merged;
+    const FanoutSummary summary =
+        driver.run(job, [&](const FanoutRecord& r) { merged.push_back(r); });
+
+    expect_merged_identical(merged, reference);
+    EXPECT_TRUE(summary.verify_identical);
+    ASSERT_EQ(summary.partitions.size(), 3u);
+    EXPECT_EQ(summary.partitions[1].first_member, nan_member);
+    EXPECT_EQ(summary.partitions[1].member_count, 1u); // single-member partition
+    EXPECT_TRUE(std::isnan(merged[nan_member].ndf));
+}
+
+TEST(FanoutDriver, EmptyAndSingleMemberPartitions) {
+    // More partitions than members: the split leaves empty partitions,
+    // which must neither dispatch nor stall the merge.
+    const std::string job = R"({"job":"deviations","deviations":[-10,0,10]})";
+    const auto reference = single_process_reference(job);
+
+    {
+        FanoutOptions opts;
+        opts.partitions = 8;
+        opts.verify_single_process = true;
+        FanoutDriver driver(loopback_factory(), opts);
+        std::vector<FanoutRecord> merged;
+        const FanoutSummary summary =
+            driver.run(job, [&](const FanoutRecord& r) { merged.push_back(r); });
+        expect_merged_identical(merged, reference);
+        EXPECT_TRUE(summary.verify_identical);
+        ASSERT_EQ(summary.partitions.size(), 8u);
+        std::size_t empties = 0;
+        for (const PartitionOutcome& p : summary.partitions) {
+            if (p.member_count == 0) {
+                ++empties;
+                EXPECT_EQ(p.attempts, 0u); // empty partitions never dispatch
+            } else {
+                EXPECT_EQ(p.member_count, 1u); // and the rest are singletons
+            }
+        }
+        EXPECT_EQ(empties, 5u);
+    }
+    {
+        // Explicit boundaries with repeats: deliberately empty middles.
+        FanoutOptions opts;
+        opts.partition_starts = {0, 1, 1, 3};
+        opts.verify_single_process = true;
+        FanoutDriver driver(loopback_factory(), opts);
+        std::vector<FanoutRecord> merged;
+        const FanoutSummary summary =
+            driver.run(job, [&](const FanoutRecord& r) { merged.push_back(r); });
+        expect_merged_identical(merged, reference);
+        EXPECT_TRUE(summary.verify_identical);
+        EXPECT_EQ(summary.partitions[1].member_count, 0u);
+        EXPECT_EQ(summary.partitions[3].member_count, 0u);
+    }
+}
+
+TEST(FanoutDriver, WorkerDeathMidPartitionIsRedispatchedBitIdentically) {
+    const std::string job =
+        R"({"job":"deviations","grid":{"from":-15,"to":15,"count":60},"shard_size":4})";
+    const auto reference = single_process_reference(job);
+
+    // The first transport the factory hands out dies after 5 result
+    // lines; every later one is healthy. Exactly one partition loses its
+    // worker mid-range and must resume at member 5 of its range on a
+    // fresh transport, with nothing delivered twice.
+    unsigned transports_made = 0;
+    auto factory = [&transports_made]() -> std::unique_ptr<Transport> {
+        LoopbackTransport::Options opts;
+        opts.workers = 2;
+        opts.shard_size = 8;
+        opts.samples_per_period = kSpp;
+        opts.die_after_results = transports_made++ == 0 ? 5 : 0;
+        return std::make_unique<LoopbackTransport>(opts);
+    };
+
+    FanoutOptions opts;
+    opts.partitions = 2;
+    opts.verify_single_process = true;
+    FanoutDriver driver(factory, opts);
+
+    std::vector<FanoutRecord> merged;
+    const FanoutSummary summary =
+        driver.run(job, [&](const FanoutRecord& r) { merged.push_back(r); });
+
+    expect_merged_identical(merged, reference);
+    EXPECT_TRUE(summary.verify_identical);
+    EXPECT_EQ(summary.members_done, 60u);
+    EXPECT_GE(summary.redispatches, 1u);
+    EXPECT_GE(transports_made, 3u); // 2 partitions + >= 1 re-dispatch
+}
+
+TEST(FanoutDriver, ExhaustedDispatchAttemptsFailTheRun) {
+    // Every peer dies after 2 results: with max_attempts = 2 the dying
+    // partitions must exhaust their budget and fail the run as a whole.
+    FanoutOptions opts;
+    opts.partitions = 2;
+    opts.max_attempts = 2;
+    FanoutDriver driver(loopback_factory(/*die_after_results=*/2), opts);
+    const std::string job =
+        R"({"job":"deviations","grid":{"from":-10,"to":10,"count":40}})";
+    EXPECT_THROW((void)driver.run(job, [](const FanoutRecord&) {}), Error);
+}
+
+TEST(FanoutDriver, CancellationFansOutAndKeepsAscendingOrder) {
+    const std::string job =
+        R"({"job":"deviations","grid":{"from":-20,"to":20,"count":2000},"shard_size":4})";
+    FanoutOptions opts;
+    opts.partitions = 2;
+    FanoutDriver driver(loopback_factory(), opts);
+
+    SweepCancelToken cancel;
+    std::vector<std::size_t> order;
+    const FanoutSummary summary = driver.run(
+        job,
+        [&](const FanoutRecord& r) {
+            order.push_back(r.member);
+            if (order.size() == 10)
+                cancel.cancel();
+        },
+        &cancel);
+
+    EXPECT_TRUE(summary.cancelled);
+    EXPECT_GE(order.size(), 10u);
+    EXPECT_LT(order.size(), 2000u); // dispatch really stopped
+    EXPECT_EQ(order.size(), summary.members_done);
+    // Ascending global order throughout; contiguous prefix before cancel.
+    for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_LT(order[i - 1], order[i]);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+    EXPECT_FALSE(summary.verify_ran); // nothing to compare a partial stream to
+}
+
+TEST(FanoutDriver, RejectsJobsWithAnExplicitMemberRange) {
+    FanoutDriver driver(loopback_factory(), {});
+    const std::string job =
+        R"({"job":"deviations","deviations":[-5,5],"members":{"first":0,"count":1}})";
+    EXPECT_THROW((void)driver.run(job, [](const FanoutRecord&) {}),
+                 InvalidInput);
+}
+
+TEST(FanoutDriver, ThrowingCallbackStopsPartitionsAndRethrows) {
+    const std::string job =
+        R"({"job":"deviations","grid":{"from":-20,"to":20,"count":500},"shard_size":4})";
+    FanoutOptions opts;
+    opts.partitions = 2;
+    FanoutDriver driver(loopback_factory(), opts);
+    EXPECT_THROW(
+        (void)driver.run(job,
+                         [](const FanoutRecord& r) {
+                             if (r.member == 3)
+                                 throw std::runtime_error("consumer failed");
+                         }),
+        std::runtime_error);
+}
+
+TEST(LoopbackTransport, EmittedEventStreamPassesProtocolCheck) {
+    // Closes the emitter <-> validator loop: every line a real session
+    // emits for a real job must satisfy check_protocol_line — the same
+    // validator CI replays the docs/PROTOCOL.md examples through.
+    LoopbackTransport::Options lopts;
+    lopts.workers = 2;
+    lopts.shard_size = 2;
+    lopts.samples_per_period = kSpp;
+    LoopbackTransport peer(lopts);
+
+    ASSERT_TRUE(peer.send_line(
+        R"({"job":"deviations","id":"ev","deviations":[-10,5],"progress_every":1,"verify_serial":true})"));
+    ASSERT_TRUE(peer.send_line(R"({"cmd":"stats"})"));
+    ASSERT_TRUE(peer.send_line(R"({"job":"nope","id":"bad"})")); // -> error event
+    ASSERT_TRUE(peer.send_line(R"({"cmd":"quit"})"));
+
+    std::size_t lines = 0;
+    bool saw_verify = false, saw_stats = false, saw_error = false;
+    std::string line;
+    while (peer.read_line(line, 30.0) == Transport::ReadStatus::line) {
+        EXPECT_NO_THROW(check_protocol_line(line)) << line;
+        ++lines;
+        saw_verify = saw_verify || line.find("\"event\":\"verify\"") !=
+                                       std::string::npos;
+        saw_stats = saw_stats ||
+                    line.find("\"event\":\"stats\"") != std::string::npos;
+        saw_error = saw_error ||
+                    line.find("\"event\":\"error\"") != std::string::npos;
+    }
+    EXPECT_GE(lines, 8u); // ready, job_start, 2 results, 2 progress, ...
+    EXPECT_TRUE(saw_verify);
+    EXPECT_TRUE(saw_stats);
+    EXPECT_TRUE(saw_error);
+}
+
+} // namespace
+} // namespace xysig::server

@@ -1,10 +1,16 @@
-// Minimal JSON layer of the sweep server's NDJSON wire format.
+// Minimal JSON layer of the sweep server's NDJSON wire format, plus the
+// wire-schema rules layered on top of it (protocol version, unknown-field
+// tolerance, member-range slicing): see docs/PROTOCOL.md.
 
 #include "server/json.h"
 
+#include <bit>
+#include <cstdint>
 #include <limits>
 
 #include <gtest/gtest.h>
+
+#include "server/wire.h"
 
 namespace xysig::server {
 namespace {
@@ -81,6 +87,120 @@ TEST(Json, KindMismatchThrows) {
     EXPECT_THROW((void)v.as_object(), InvalidInput);
     EXPECT_THROW((void)v.as_number(), InvalidInput);
     EXPECT_THROW((void)v.as_array()[0].as_string(), InvalidInput);
+}
+
+// ---------------------------------------------------------------- wire layer
+
+TEST(Wire, VersionlessPr4JobsStillParse) {
+    // Backward compatibility: every PR-4 job line (no "version" field) is
+    // a valid version-1 job, byte for byte.
+    const WireJob wire = parse_wire_job(JsonValue::parse(
+        R"({"job":"deviations","id":"legacy","parameter":"q","deviations":[-10,-5,5,10],"shard_size":2,"progress_every":3,"cancel_after":0,"emit_signatures":false,"verify_serial":true})"));
+    EXPECT_EQ(wire.version, 1);
+    EXPECT_EQ(wire.id, "legacy");
+    EXPECT_EQ(wire.job.size(), 4u);
+    EXPECT_EQ(wire.universe_members, 4u);
+    EXPECT_EQ(wire.member_offset, 0u);
+    EXPECT_EQ(wire.parameter, core::SweptParameter::q);
+    EXPECT_EQ(wire.job.shard_size, 2u);
+    EXPECT_EQ(wire.progress_every, 3u);
+    EXPECT_FALSE(wire.emit_signatures);
+    EXPECT_TRUE(wire.verify_serial);
+}
+
+TEST(Wire, VersionFieldAcceptedCheckedAndUnknownFieldsTolerated) {
+    // "version":1 is accepted, unknown fields are ignored (the tolerant-
+    // reader rule that makes minor protocol additions non-breaking)...
+    const WireJob wire = parse_wire_job(JsonValue::parse(
+        R"({"job":"deviations","version":1,"deviations":[-5,5],"some_future_field":{"x":1},"another":true})"));
+    EXPECT_EQ(wire.version, 1);
+    EXPECT_EQ(wire.job.size(), 2u);
+    // ...while a version newer than this build and malformed versions are
+    // rejected up front.
+    EXPECT_THROW((void)parse_wire_job(JsonValue::parse(
+                     R"({"job":"deviations","version":99,"deviations":[-5,5]})")),
+                 InvalidInput);
+    EXPECT_THROW((void)parse_wire_job(JsonValue::parse(
+                     R"({"job":"deviations","version":0,"deviations":[-5,5]})")),
+                 InvalidInput);
+    EXPECT_THROW((void)parse_wire_job(JsonValue::parse(
+                     R"({"job":"deviations","version":1.5,"deviations":[-5,5]})")),
+                 InvalidInput);
+}
+
+TEST(Wire, MemberRangeSlicesTheUniverse) {
+    const WireJob wire = parse_wire_job(JsonValue::parse(
+        R"({"job":"deviations","deviations":[0,1,2,3,4,5,6,7,8,9],"members":{"first":3,"count":4}})"));
+    EXPECT_EQ(wire.universe_members, 10u);
+    EXPECT_EQ(wire.member_offset, 3u);
+    ASSERT_EQ(wire.deviations.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(wire.deviations[i], static_cast<double>(3 + i));
+
+    // count omitted = to the universe end; count 0 = an empty slice.
+    EXPECT_EQ(parse_wire_job(
+                  JsonValue::parse(
+                      R"({"job":"deviations","deviations":[0,1,2],"members":{"first":1}})"))
+                  .job.size(),
+              2u);
+    EXPECT_EQ(parse_wire_job(
+                  JsonValue::parse(
+                      R"({"job":"deviations","deviations":[0,1,2],"members":{"first":1,"count":0}})"))
+                  .job.size(),
+              0u);
+    // Ranges past the universe end are schema errors, not clamps.
+    EXPECT_THROW((void)parse_wire_job(JsonValue::parse(
+                     R"({"job":"deviations","deviations":[0,1],"members":{"first":3}})")),
+                 InvalidInput);
+    EXPECT_THROW((void)parse_wire_job(JsonValue::parse(
+                     R"({"job":"deviations","deviations":[0,1],"members":{"first":1,"count":2}})")),
+                 InvalidInput);
+}
+
+TEST(Wire, GridSlicesAreBitIdenticalToTheFullGrid) {
+    // The fan-out cornerstone: a grid member's deviation value depends on
+    // its global id only, so slicing after materialisation concatenates
+    // back to the full grid bit for bit.
+    const std::string grid =
+        R"("grid":{"from":-20,"to":20,"count":101})";
+    const WireJob full = parse_wire_job(
+        JsonValue::parse(R"({"job":"deviations",)" + grid + "}"));
+    const WireJob lo = parse_wire_job(JsonValue::parse(
+        R"({"job":"deviations",)" + grid +
+        R"(,"members":{"first":0,"count":37}})"));
+    const WireJob hi = parse_wire_job(JsonValue::parse(
+        R"({"job":"deviations",)" + grid + R"(,"members":{"first":37}})"));
+    ASSERT_EQ(lo.deviations.size() + hi.deviations.size(),
+              full.deviations.size());
+    for (std::size_t i = 0; i < full.deviations.size(); ++i) {
+        const double sliced =
+            i < 37 ? lo.deviations[i] : hi.deviations[i - 37];
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(sliced),
+                  std::bit_cast<std::uint64_t>(full.deviations[i]))
+            << "member " << i;
+    }
+}
+
+TEST(Wire, CheckProtocolLineAcceptsTheSchemaAndRejectsDrift) {
+    // Requests.
+    EXPECT_NO_THROW(check_protocol_line(
+        R"({"job":"deviations","grid":{"from":-20,"to":20,"count":100}})"));
+    EXPECT_NO_THROW(check_protocol_line(R"({"cmd":"stats"})"));
+    EXPECT_NO_THROW(check_protocol_line(R"({"cmd":"cancel","id":"job-1"})"));
+    // Events, including null NDFs (NaN members).
+    EXPECT_NO_THROW(check_protocol_line(
+        R"x({"event":"result","member":3,"ndf":null,"ndf_hex":"nan","label":"open(R1)"})x"));
+    // Unknown events / commands, missing required fields, wrong types.
+    EXPECT_THROW(check_protocol_line(R"({"event":"nope"})"), InvalidInput);
+    EXPECT_THROW(check_protocol_line(R"({"cmd":"reboot"})"), InvalidInput);
+    EXPECT_THROW(check_protocol_line(
+                     R"({"event":"result","member":3,"ndf":0.5,"label":"x"})"),
+                 InvalidInput); // ndf_hex missing
+    EXPECT_THROW(check_protocol_line(
+                     R"({"event":"progress","done":"three","total":10})"),
+                 InvalidInput); // wrong type
+    EXPECT_THROW(check_protocol_line(R"({"hello":"world"})"), InvalidInput);
+    EXPECT_THROW(check_protocol_line(R"([1,2,3])"), InvalidInput);
 }
 
 } // namespace
