@@ -1,29 +1,33 @@
-// sweep_server — newline-delimited-JSON front-end over server::SweepService.
+// sweep_server — newline-delimited-JSON front-end over server::SweepService
+// through the server::JobScheduler queue.
 //
 // Reads one JSON request (job or command) per stdin line, streams NDJSON
-// events (ready, job_start, result, progress, job_done, verify, stats,
-// error) to stdout, and keeps the service — worker pool, pipeline,
-// golden-signature cache — alive across jobs. docs/PROTOCOL.md is the
-// normative spec of the wire format; the protocol logic itself lives in
-// src/server/wire.{h,cpp} (ServerSession), shared with the fan-out
-// driver's loopback transport, so this file is only plumbing:
+// events (ready, queued, job_start, result, progress, job_done, verify,
+// stats, error) to stdout, and keeps the service — worker pool, pipeline,
+// golden-signature cache, whole-job result cache — alive across jobs.
+// docs/PROTOCOL.md is the normative spec of the wire format; the protocol
+// logic itself lives in src/server/wire.{h,cpp} (ServerSession), shared
+// with the fan-out driver's loopback transport, so this file is only
+// plumbing.
 //
-//  * a stdin reader thread that queues request lines and applies
-//    {"cmd":"cancel"} on receipt (so a running job can be cancelled);
-//  * --check mode: validate each stdin line against the protocol schema
-//    without running anything — CI replays the PROTOCOL.md examples
-//    through it so documented lines can never drift from the parser.
+// Since protocol version 2, handle_line() submits jobs asynchronously —
+// a job is acknowledged with a `queued` event and its results stream from
+// a per-job emitter thread — so this main loop is a single-threaded
+// getline: cancels take effect on receipt (submission never blocks the
+// reader for the duration of a job), multiple in-flight jobs interleave
+// on one connection, and backpressure comes from the scheduler's bounded
+// queue + the OS pipe. {"cmd":"quit"} drains every in-flight job before
+// the loop exits, as does EOF.
 //
 // Flags: --workers=N --shard-size=N --spp=N (pipeline samples per period)
+//        --queue=N (max queued jobs before submit blocks)
+//        --job-cache=N (whole-job result cache entries; 0 disables)
+//        --no-prefetch (disable golden prefetch for queued jobs)
 //        --check (schema-validate stdin lines, exit non-zero on the first
 //        invalid one)
 
-#include <condition_variable>
-#include <deque>
 #include <iostream>
-#include <mutex>
 #include <string>
-#include <thread>
 
 #include "server/wire.h"
 
@@ -60,6 +64,7 @@ int main(int argc, char** argv) {
     unsigned workers = 0;
     std::size_t shard_size = 64;
     std::size_t samples_per_period = 512;
+    server::SessionOptions session_opts;
     bool check = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -69,6 +74,12 @@ int main(int argc, char** argv) {
             shard_size = std::stoul(arg.substr(13));
         else if (arg.rfind("--spp=", 0) == 0)
             samples_per_period = std::stoul(arg.substr(6));
+        else if (arg.rfind("--queue=", 0) == 0)
+            session_opts.max_pending = std::stoul(arg.substr(8));
+        else if (arg.rfind("--job-cache=", 0) == 0)
+            session_opts.cache_capacity = std::stoul(arg.substr(12));
+        else if (arg == "--no-prefetch")
+            session_opts.prefetch_goldens = false;
         else if (arg == "--check")
             check = true;
         else {
@@ -84,82 +95,19 @@ int main(int argc, char** argv) {
     sopts.shard_size = shard_size;
     server::SweepService service(server::make_paper_pipeline(samples_per_period),
                                  sopts);
-    server::ServerSession session(service, [](const std::string& line) {
-        std::cout << line << "\n" << std::flush;
-    });
+    server::ServerSession session(
+        service,
+        [](const std::string& line) { std::cout << line << "\n" << std::flush; },
+        session_opts);
     session.emit_ready(samples_per_period);
 
-    // Request lines are processed in order on this (main) thread; the
-    // reader thread exists so {"cmd":"cancel"} takes effect while a job is
-    // running — it is applied on receipt instead of being queued. The
-    // queue is bounded: past the cap the reader stops consuming stdin, so
-    // a producer piping a huge job script is throttled by the OS pipe
-    // (the backpressure the old single-threaded getline loop had), at the
-    // cost of cancels behind >kMaxPending unread lines waiting their turn.
-    constexpr std::size_t kMaxPending = 256;
-    std::mutex mutex;
-    std::condition_variable cv;       // signalled when a line is queued / EOF
-    std::condition_variable space_cv; // signalled when a line is consumed
-    std::deque<std::string> requests;
-    bool eof = false;
-
-    std::thread reader([&] {
-        std::string line;
-        while (std::getline(std::cin, line)) {
-            if (line.find_first_not_of(" \t\r") == std::string::npos)
-                continue;
-            std::string cmd;
-            try {
-                const server::JsonValue v = server::JsonValue::parse(line);
-                if (v.is_object()) {
-                    cmd = v.string_or("cmd", "");
-                    if (cmd == "cancel") {
-                        session.cancel(v.string_or("id", ""));
-                        continue;
-                    }
-                }
-            } catch (const std::exception&) {
-                // malformed: queue it so the session reports the error
-            }
-            const bool quit = cmd == "quit";
-            {
-                std::unique_lock<std::mutex> lock(mutex);
-                space_cv.wait(lock,
-                              [&] { return requests.size() < kMaxPending; });
-                requests.push_back(line);
-            }
-            cv.notify_all();
-            if (quit)
-                break; // stop reading so the thread is joinable after quit
-        }
-        {
-            std::lock_guard<std::mutex> lock(mutex);
-            eof = true;
-        }
-        cv.notify_all();
-    });
-
-    while (true) {
-        std::string line;
-        {
-            std::unique_lock<std::mutex> lock(mutex);
-            cv.wait(lock, [&] { return eof || !requests.empty(); });
-            if (requests.empty())
-                break; // EOF with nothing pending
-            line = std::move(requests.front());
-            requests.pop_front();
-        }
-        space_cv.notify_all();
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
         if (!session.handle_line(line))
-            break; // quit
+            break; // quit (already drained)
     }
-    {
-        // Unblock a reader parked on a full queue before joining (it will
-        // park again only after a push, and EOF/quit paths set it free).
-        std::lock_guard<std::mutex> lock(mutex);
-        requests.clear();
-    }
-    space_cv.notify_all();
-    reader.join();
+    session.drain(); // EOF path: flush in-flight jobs before exiting
     return session.all_verified() ? 0 : 1;
 }

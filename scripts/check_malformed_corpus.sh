@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Replays every line of the malformed-line corpus through the real
+# protocol validator (`sweep_server --check`) and asserts each one is
+# REJECTED with a clean nonzero exit — exit code 1, not a crash signal.
+# Also generates a 100k-'[' depth bomb on the fly: the parser must refuse
+# it via its bounded nesting depth instead of overflowing the stack.
+# Usage:
+#
+#   scripts/check_malformed_corpus.sh ./build/example_sweep_server \
+#       [tests/server/malformed_corpus.ndjson]
+set -u
+
+server="${1:?usage: check_malformed_corpus.sh <sweep_server binary> [corpus.ndjson]}"
+corpus="${2:-tests/server/malformed_corpus.ndjson}"
+
+fail=0
+checked=0
+line_number=0
+while IFS= read -r line || [ -n "$line" ]; do
+    line_number=$((line_number + 1))
+    case "$line" in '' | '#'*) continue ;; esac
+    checked=$((checked + 1))
+    printf '%s\n' "$line" | "$server" --check >/dev/null 2>&1
+    rc=$?
+    if [ "$rc" -ne 1 ]; then
+        echo "check_malformed_corpus: line $line_number exited $rc (want 1): $line" >&2
+        fail=1
+    fi
+done <"$corpus"
+
+if [ "$checked" -lt 10 ]; then
+    echo "check_malformed_corpus: only $checked corpus lines in $corpus — file moved?" >&2
+    exit 1
+fi
+
+awk 'BEGIN { s = ""; for (i = 0; i < 100000; i++) s = s "["; print s }' |
+    "$server" --check >/dev/null 2>&1
+rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "check_malformed_corpus: 100k-bracket depth bomb exited $rc (want 1)" >&2
+    fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+    echo "check_malformed_corpus: $checked corpus lines + depth bomb all cleanly rejected"
+fi
+exit "$fail"

@@ -11,7 +11,8 @@ namespace {
 /// Recursive-descent parser over a flat character range.
 class Parser {
 public:
-    explicit Parser(const std::string& text) : text_(text) {}
+    Parser(const std::string& text, const JsonParseOptions& options)
+        : text_(text), options_(options) {}
 
     JsonValue parse_document() {
         JsonValue v = parse_value();
@@ -62,9 +63,17 @@ private:
         const char c = peek();
         switch (c) {
         case '{':
-            return parse_object();
-        case '[':
-            return parse_array();
+        case '[': {
+            // Depth cap: the parser recurses once per nested container, so
+            // untrusted input must not control the stack depth.
+            if (depth_ >= options_.max_depth)
+                fail("nesting depth exceeds " +
+                     std::to_string(options_.max_depth));
+            ++depth_;
+            JsonValue v = c == '{' ? parse_object() : parse_array();
+            --depth_;
+            return v;
+        }
         case '"':
             return JsonValue(parse_string());
         case 't':
@@ -97,6 +106,8 @@ private:
             std::string key = parse_string();
             skip_ws();
             expect(':');
+            if (options_.reject_duplicate_keys && obj.count(key) != 0)
+                fail("duplicate object key \"" + key + "\"");
             obj.insert_or_assign(std::move(key), parse_value());
             skip_ws();
             const char c = peek();
@@ -202,18 +213,56 @@ private:
     }
 
     JsonValue parse_number() {
-        const char* begin = text_.data() + pos_;
-        const char* end = text_.data() + text_.size();
+        // Pre-validate against the RFC 8259 grammar
+        //     -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+        // before handing anything to std::from_chars: its default
+        // (strtod-style) format also accepts "inf"/"nan" (reachable here
+        // through the '-' dispatch), leading-zero integers and bare-dot
+        // forms, none of which are JSON.
+        const std::size_t start = pos_;
+        std::size_t p = pos_;
+        const auto digit_at = [&](std::size_t i) {
+            return i < text_.size() && text_[i] >= '0' && text_[i] <= '9';
+        };
+        if (p < text_.size() && text_[p] == '-')
+            ++p;
+        if (!digit_at(p))
+            fail("invalid number");
+        if (text_[p] == '0')
+            ++p; // a leading zero must stand alone ("01" is not a number)
+        else
+            while (digit_at(p))
+                ++p;
+        if (p < text_.size() && text_[p] == '.') {
+            ++p;
+            if (!digit_at(p))
+                fail("invalid number"); // "1." has no fraction digits
+            while (digit_at(p))
+                ++p;
+        }
+        if (p < text_.size() && (text_[p] == 'e' || text_[p] == 'E')) {
+            ++p;
+            if (p < text_.size() && (text_[p] == '+' || text_[p] == '-'))
+                ++p;
+            if (!digit_at(p))
+                fail("invalid number"); // "1e" / "1e+" have no exponent
+            while (digit_at(p))
+                ++p;
+        }
+        const char* begin = text_.data() + start;
+        const char* end = text_.data() + p;
         double value = 0.0;
         const auto [ptr, ec] = std::from_chars(begin, end, value);
-        if (ec != std::errc() || ptr == begin)
+        if (ec != std::errc() || ptr != end)
             fail("invalid number");
-        pos_ = static_cast<std::size_t>(ptr - text_.data());
+        pos_ = p;
         return JsonValue(value);
     }
 
     const std::string& text_;
+    JsonParseOptions options_;
     std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
 };
 
 void dump_string(const std::string& s, std::string& out) {
@@ -256,8 +305,19 @@ void dump_number(double v, std::string& out) {
 } // namespace
 
 JsonValue JsonValue::parse(const std::string& text) {
-    Parser p(text);
+    return parse(text, JsonParseOptions{});
+}
+
+JsonValue JsonValue::parse(const std::string& text,
+                           const JsonParseOptions& options) {
+    Parser p(text, options);
     return p.parse_document();
+}
+
+JsonValue JsonValue::parse_strict(const std::string& text) {
+    JsonParseOptions options;
+    options.reject_duplicate_keys = true;
+    return parse(text, options);
 }
 
 std::string JsonValue::dump() const {

@@ -18,6 +18,17 @@
 
 namespace xysig::server {
 
+/// Parser hardening knobs. The depth cap is always enforced (the parser is
+/// recursive-descent, so a hostile line of ~100k '[' would otherwise
+/// overflow the network-facing sweep_server's stack); duplicate-key
+/// rejection is opt-in because RFC 8259 leaves duplicate handling to the
+/// application — the wire layer's strict mode rejects them so a job line
+/// with conflicting fields fails loudly instead of silently picking one.
+struct JsonParseOptions {
+    std::size_t max_depth = 64;
+    bool reject_duplicate_keys = false;
+};
+
 /// One JSON value (null / bool / number / string / array / object).
 class JsonValue {
 public:
@@ -37,8 +48,17 @@ public:
 
     /// Parses one JSON document (the whole string must be consumed, apart
     /// from trailing whitespace). Throws InvalidInput with an offset on
-    /// malformed text.
+    /// malformed text. Numbers must match the RFC 8259 grammar exactly:
+    /// strtod-isms accepted by std::from_chars — "inf"/"nan" (reachable
+    /// through a leading '-'), leading-zero integers like "01", and
+    /// trailing-/leading-dot forms — are rejected.
     [[nodiscard]] static JsonValue parse(const std::string& text);
+    [[nodiscard]] static JsonValue parse(const std::string& text,
+                                         const JsonParseOptions& options);
+
+    /// parse() with duplicate object keys rejected — the wire layer's
+    /// request/validation entry points use this.
+    [[nodiscard]] static JsonValue parse_strict(const std::string& text);
 
     /// Compact single-line serialisation (no spaces, sorted object keys).
     /// Numbers use the shortest round-trippable decimal form.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <thread>
 #include <utility>
 
 #include "common/strings.h"
@@ -10,6 +11,7 @@
 #include "core/paper_setup.h"
 #include "filter/tow_thomas.h"
 #include "monitor/table1.h"
+#include "server/scheduler.h"
 
 namespace xysig::server {
 
@@ -89,6 +91,15 @@ WireJob parse_wire_job(const JsonValue& v) {
                                                      static_cast<double>(i) /
                                                      static_cast<double>(count - 1));
         }
+        // Content-addressed universe key over the MATERIALISED full grid:
+        // an explicit list and a grid spelling the same values share one
+        // key, and exact hexfloats make a hit bit-identical by definition.
+        wire.universe_key = "dev|p=" + param + "|v=";
+        for (std::size_t i = 0; i < wire.deviations.size(); ++i) {
+            if (i > 0)
+                wire.universe_key.push_back(',');
+            wire.universe_key += format_double_exact(wire.deviations[i]);
+        }
     } else if (kind == "spice_faults") {
         auto circuit = filter::build_tow_thomas(filter::TowThomasDesign::from_biquad(
             core::paper_biquad().design(), 10e3));
@@ -108,9 +119,21 @@ WireJob parse_wire_job(const JsonValue& v) {
         if (wire.faults.empty())
             throw InvalidInput(
                 "wire: universe must name 'bridging' and/or 'open'");
+        const std::size_t settle = index_or(v, "settle_periods", 2);
+        // The fault universe is a deterministic function of these options
+        // over the built-in circuit (bridging always enumerated before
+        // open), so normalised flags — not the raw universe string — key
+        // the cache: "open+bridging" and "bridging+open" are one job.
+        wire.universe_key =
+            std::string("spice|b=") +
+            (universe.find("bridging") != std::string::npos ? '1' : '0') +
+            "|o=" + (universe.find("open") != std::string::npos ? '1' : '0') +
+            "|br=" + format_double_exact(fopts.bridge_resistance) +
+            "|of=" + format_double_exact(fopts.open_factor) +
+            "|gnd=" + (fopts.bridge_to_ground ? '1' : '0') +
+            "|settle=" + std::to_string(settle);
         wire.observation = {circuit.input_source, circuit.input_node,
-                            circuit.lp_node,
-                            static_cast<int>(index_or(v, "settle_periods", 2))};
+                            circuit.lp_node, static_cast<int>(settle)};
         wire.nominal =
             std::make_shared<spice::Netlist>(std::move(circuit.netlist));
         wire.is_spice = true;
@@ -154,6 +177,16 @@ WireJob parse_wire_job(const JsonValue& v) {
     wire.cancel_after = index_or(v, "cancel_after", 0);
     wire.emit_signatures = v.bool_or("emit_signatures", true);
     wire.verify_serial = v.bool_or("verify_serial", false);
+    if (v.has("priority")) {
+        // Signed, unlike index_field: low-priority background jobs are
+        // spelled with negative numbers.
+        const double p = v.at("priority").as_number();
+        if (p != std::floor(p) || std::abs(p) > 1e9)
+            throw InvalidInput(
+                "wire: priority must be an integer in [-1e9, 1e9]");
+        wire.priority = static_cast<int>(p);
+    }
+    wire.client = v.string_or("client", "");
     return wire;
 }
 
@@ -260,6 +293,13 @@ void check_event(const JsonValue& v) {
                      {id_opt,
                       {"done", FieldKind::number, true},
                       {"total", FieldKind::number, true}});
+    } else if (event == "queued") {
+        check_fields(v, "queued event",
+                     {id_opt,
+                      {"position", FieldKind::number, true},
+                      {"priority", FieldKind::number, true},
+                      {"client", FieldKind::string, false},
+                      {"cached", FieldKind::boolean, true}});
     } else if (event == "job_done") {
         check_fields(v, "job_done event",
                      {id_opt,
@@ -272,7 +312,11 @@ void check_event(const JsonValue& v) {
                       {"netlist_clones", FieldKind::number, true},
                       {"shard_seconds_min", FieldKind::number, true},
                       {"shard_seconds_max", FieldKind::number, true},
-                      {"shard_seconds_mean", FieldKind::number, true}});
+                      {"shard_seconds_mean", FieldKind::number, true},
+                      // Version-2 additions (optional: v1 job_done lines
+                      // stay valid under the tolerant-reader rule).
+                      {"cached", FieldKind::boolean, false},
+                      {"queue_seconds", FieldKind::number, false}});
     } else if (event == "verify") {
         if (v.has("skipped_cancelled")) {
             check_fields(v, "verify event",
@@ -290,7 +334,10 @@ void check_event(const JsonValue& v) {
                       {"shards", FieldKind::number, true},
                       {"netlist_clones", FieldKind::number, true},
                       {"workers", FieldKind::number, true},
-                      {"golden_cache", FieldKind::object, true}});
+                      {"golden_cache", FieldKind::object, true},
+                      // Version-2 additions.
+                      {"scheduler", FieldKind::object, false},
+                      {"job_cache", FieldKind::object, false}});
     } else if (event == "error") {
         check_fields(v, "error event",
                      {id_opt, {"message", FieldKind::string, true}});
@@ -309,7 +356,11 @@ void check_command(const JsonValue& v) {
 } // namespace
 
 void check_protocol_line(const std::string& line) {
-    const JsonValue v = JsonValue::parse(line);
+    // Strict parse: a job line with duplicate keys carries conflicting
+    // fields — reject it loudly instead of silently picking one (the
+    // tolerant parser's last-wins is fine for EVENTS we merely relay, but
+    // --check validates lines someone intends to submit).
+    const JsonValue v = JsonValue::parse_strict(line);
     if (!v.is_object())
         throw InvalidInput("wire: a protocol line must be a JSON object");
     if (v.has("event")) {
@@ -326,13 +377,36 @@ void check_protocol_line(const std::string& line) {
 
 // ------------------------------------------------------------ ServerSession
 
-ServerSession::ServerSession(SweepService& service, LineSink sink)
+/// One per-job emitter thread plus its completion flag (reaped lazily on
+/// later submits; drain() joins whatever is left).
+struct ServerSession::Emitter {
+    std::thread thread;
+    std::atomic<bool> finished{false};
+};
+
+ServerSession::ServerSession(SweepService& service, LineSink sink,
+                             SessionOptions options)
     : service_(service), sink_(std::move(sink)) {
     XYSIG_EXPECTS(sink_ != nullptr);
+    JobScheduler::Options sched;
+    sched.max_pending = options.max_pending;
+    sched.cache_capacity = options.cache_capacity;
+    sched.prefetch_goldens = options.prefetch_goldens;
+    scheduler_ = std::make_unique<JobScheduler>(service_, sched);
+}
+
+ServerSession::~ServerSession() {
+    // Tear down the scheduler FIRST: it cancels queued + running jobs and
+    // closes every record, so the emitters below wind down promptly
+    // instead of draining the whole backlog.
+    scheduler_.reset();
+    drain();
 }
 
 void ServerSession::emit(const JsonValue::Object& obj) {
-    sink_(JsonValue(obj).dump());
+    const std::string line = JsonValue(obj).dump();
+    std::lock_guard<std::mutex> lock(sink_mutex_);
+    sink_(line);
 }
 
 void ServerSession::emit_error(const std::string& id,
@@ -356,63 +430,161 @@ void ServerSession::emit_ready(std::size_t samples_per_period) {
 }
 
 void ServerSession::cancel(const std::string& id) {
-    std::lock_guard<std::mutex> lock(cancel_mutex_);
-    if (active_cancel_ != nullptr && (id.empty() || id == active_id_))
-        active_cancel_->cancel();
+    {
+        // A cancel landing while handle_line is still DECODING its job
+        // (SPICE universe enumeration takes milliseconds) must stick: mark
+        // it here, submit_job applies it right after the submit.
+        std::lock_guard<std::mutex> lock(precancel_mutex_);
+        if (decoding_active_ && (id.empty() || id == decoding_id_))
+            decoding_cancelled_ = true;
+    }
+    scheduler_->cancel(id);
+}
+
+void ServerSession::drain() {
+    while (true) {
+        std::vector<std::unique_ptr<Emitter>> finished;
+        {
+            std::lock_guard<std::mutex> lock(emitters_mutex_);
+            finished.swap(emitters_);
+        }
+        if (finished.empty())
+            return;
+        for (const auto& emitter : finished)
+            if (emitter->thread.joinable())
+                emitter->thread.join();
+    }
+}
+
+void ServerSession::reap_finished_emitters_locked() {
+    auto alive = emitters_.begin();
+    for (auto it = emitters_.begin(); it != emitters_.end(); ++it) {
+        if ((*it)->finished.load(std::memory_order_acquire)) {
+            (*it)->thread.join();
+        } else {
+            *alive++ = std::move(*it);
+        }
+    }
+    emitters_.erase(alive, emitters_.end());
 }
 
 bool ServerSession::handle_line(const std::string& line) {
     std::string id;
     try {
-        const JsonValue v = JsonValue::parse(line);
+        // Strict parse: requests with duplicate keys carry conflicting
+        // fields and are rejected with an error event.
+        const JsonValue v = JsonValue::parse_strict(line);
         id = v.string_or("id", "");
         if (v.has("cmd")) {
             const std::string cmd = v.at("cmd").as_string();
-            if (cmd == "quit")
+            if (cmd == "quit") {
+                drain(); // no event line is lost to an exiting peer
                 return false;
+            }
             if (cmd == "stats") {
                 emit_stats();
                 return true;
             }
             if (cmd == "cancel") {
-                // Normally intercepted by the peer's reader thread while a
-                // job is running; between jobs it is a no-op by design.
                 cancel(id);
                 return true;
             }
             throw InvalidInput("wire: unknown cmd '" + cmd + "'");
         }
-        run_job(v);
+        submit_job(v);
     } catch (const std::exception& e) {
         emit_error(id, e.what());
     }
     return true;
 }
 
-void ServerSession::run_job(const JsonValue& v) {
-    // Register the cancel token BEFORE decoding: parse_wire_job can take
-    // milliseconds for SPICE jobs (netlist build, universe enumeration),
-    // and a cancel() landing in that window must not be silently dropped —
-    // the fan-out driver sends its cancel exactly once per partition.
-    SweepCancelToken cancel_token;
+void ServerSession::submit_job(const JsonValue& v) {
     {
-        std::lock_guard<std::mutex> lock(cancel_mutex_);
-        active_cancel_ = &cancel_token;
-        active_id_ = v.is_object() ? v.string_or("id", "") : std::string();
+        std::lock_guard<std::mutex> lock(precancel_mutex_);
+        decoding_active_ = true;
+        decoding_id_ = v.is_object() ? v.string_or("id", "") : std::string();
+        decoding_cancelled_ = false;
     }
-    // Deregister on every exit path: a dangling token pointer would let a
-    // late cancel() poke freed stack memory.
-    struct Deregister {
+    struct ClearDecoding {
         ServerSession* self;
-        ~Deregister() {
-            std::lock_guard<std::mutex> lock(self->cancel_mutex_);
-            self->active_cancel_ = nullptr;
-            self->active_id_.clear();
+        ~ClearDecoding() {
+            std::lock_guard<std::mutex> lock(self->precancel_mutex_);
+            self->decoding_active_ = false;
+            self->decoding_id_.clear();
         }
-    } deregister{this};
+    } clear_decoding{this};
 
     WireJob wire = parse_wire_job(v);
+    const std::string id = wire.id;
+    const int priority = wire.priority;
+    const std::string client = wire.client;
+    JobScheduler::SubmitOptions sopts;
+    sopts.priority = priority;
+    sopts.client = client;
+    const std::size_t position = scheduler_->stats().queue_depth;
+    JobHandle handle = scheduler_->submit(std::move(wire), std::move(sopts));
+    {
+        std::lock_guard<std::mutex> lock(precancel_mutex_);
+        if (decoding_cancelled_)
+            handle.cancel();
+    }
+
+    // Acknowledge BEFORE spawning the emitter, so `queued` always precedes
+    // the job's own event stream.
+    const bool cached = handle.from_cache();
+    {
+        JsonValue::Object o;
+        o.emplace("event", "queued");
+        if (!id.empty())
+            o.emplace("id", id);
+        o.emplace("position", cached ? std::size_t{0} : position);
+        o.emplace("priority", priority);
+        if (!client.empty())
+            o.emplace("client", client);
+        o.emplace("cached", cached);
+        emit(o);
+    }
+
+    auto emitter = std::make_unique<Emitter>();
+    Emitter* raw = emitter.get();
+    emitter->thread =
+        std::thread([this, raw, h = std::move(handle)]() mutable {
+            emit_job_events(std::move(h));
+            raw->finished.store(true, std::memory_order_release);
+        });
+    std::lock_guard<std::mutex> lock(emitters_mutex_);
+    reap_finished_emitters_locked();
+    emitters_.push_back(std::move(emitter));
+}
+
+void ServerSession::emit_job_events(JobHandle handle) {
+    handle.wait_until_started();
+    const WireJob& wire = handle.wire();
     const std::string& id = wire.id;
+
+    if (handle.cancelled_before_start()) {
+        // Dequeued by a cancel before the service ever saw it: close the
+        // job on the wire (cancelled, zero members) without a job_start.
+        const JobOutcome out = handle.outcome();
+        JsonValue::Object o;
+        o.emplace("event", "job_done");
+        if (!id.empty())
+            o.emplace("id", id);
+        o.emplace("members_total", wire.job.size());
+        o.emplace("members_done", std::size_t{0});
+        o.emplace("shards_total", std::size_t{0});
+        o.emplace("shards_done", std::size_t{0});
+        o.emplace("cancelled", true);
+        o.emplace("seconds", 0.0);
+        o.emplace("netlist_clones", std::size_t{0});
+        o.emplace("shard_seconds_min", 0.0);
+        o.emplace("shard_seconds_max", 0.0);
+        o.emplace("shard_seconds_mean", 0.0);
+        o.emplace("cached", false);
+        o.emplace("queue_seconds", out.queue_seconds);
+        emit(o);
+        return;
+    }
 
     {
         JsonValue::Object o;
@@ -427,11 +599,9 @@ void ServerSession::run_job(const JsonValue& v) {
         emit(o);
     }
 
-    std::vector<double> streamed;
-    streamed.reserve(wire.job.size());
     std::size_t delivered = 0;
-    const auto on_result = [&](const SweepResult& r) {
-        streamed.push_back(r.ndf);
+    SweepResult r;
+    while (handle.next(r)) {
         ++delivered;
         JsonValue::Object o;
         o.emplace("event", "result");
@@ -455,13 +625,16 @@ void ServerSession::run_job(const JsonValue& v) {
             p.emplace("total", wire.job.size());
             emit(p);
         }
-        if (wire.cancel_after != 0 && delivered >= wire.cancel_after)
-            cancel_token.cancel();
-    };
+    }
 
-    const JobSummary summary = service_.run(wire.job, on_result, &cancel_token);
+    const JobOutcome out = handle.outcome();
+    if (out.state == JobState::failed) {
+        emit_error(id, out.error);
+        return;
+    }
 
     {
+        const JobSummary& summary = out.summary;
         double shard_min = 0.0, shard_max = 0.0, shard_sum = 0.0;
         for (const auto& st : summary.shard_timings) {
             shard_min = (shard_min == 0.0 || st.seconds < shard_min)
@@ -478,7 +651,7 @@ void ServerSession::run_job(const JsonValue& v) {
         o.emplace("members_done", summary.members_done);
         o.emplace("shards_total", summary.shards_total);
         o.emplace("shards_done", summary.shards_done);
-        o.emplace("cancelled", summary.cancelled);
+        o.emplace("cancelled", out.state == JobState::cancelled);
         o.emplace("seconds", summary.seconds);
         o.emplace("netlist_clones", summary.netlist_clones);
         o.emplace("shard_seconds_min", shard_min);
@@ -488,10 +661,12 @@ void ServerSession::run_job(const JsonValue& v) {
                       ? 0.0
                       : shard_sum / static_cast<double>(
                                         summary.shard_timings.size()));
+        o.emplace("cached", out.from_cache);
+        o.emplace("queue_seconds", out.queue_seconds);
         emit(o);
     }
 
-    if (wire.verify_serial && summary.cancelled) {
+    if (wire.verify_serial && out.verify_skipped_cancelled) {
         // A cancelled job has a legitimately incomplete stream; that is not
         // a verification failure, there is just nothing to compare against.
         JsonValue::Object o;
@@ -500,22 +675,15 @@ void ServerSession::run_job(const JsonValue& v) {
             o.emplace("id", id);
         o.emplace("skipped_cancelled", true);
         emit(o);
-    } else if (wire.verify_serial) {
-        const std::vector<double> reference =
-            wire_serial_reference(wire, service_.pipeline());
-        bool identical = streamed.size() == reference.size();
-        if (identical)
-            for (std::size_t i = 0; i < reference.size(); ++i)
-                identical = identical &&
-                            format_double_exact(streamed[i]) ==
-                                format_double_exact(reference[i]);
-        all_verified_ = all_verified_ && identical;
+    } else if (wire.verify_serial && out.verify_ran) {
+        if (!out.verified)
+            all_verified_.store(false, std::memory_order_release);
         JsonValue::Object o;
         o.emplace("event", "verify");
         if (!id.empty())
             o.emplace("id", id);
-        o.emplace("bit_identical", identical);
-        o.emplace("members", reference.size());
+        o.emplace("bit_identical", out.verified);
+        o.emplace("members", out.verify_members);
         emit(o);
     }
 }
@@ -529,6 +697,22 @@ void ServerSession::emit_stats() {
     cache_obj.emplace("size", cache.size());
     cache_obj.emplace("evictions", cache.evictions());
     cache_obj.emplace("capacity", cache.capacity());
+    const JobScheduler::Stats sched = scheduler_->stats();
+    JsonValue::Object sched_obj;
+    sched_obj.emplace("submitted", sched.submitted);
+    sched_obj.emplace("completed", sched.completed);
+    sched_obj.emplace("failed", sched.failed);
+    sched_obj.emplace("cancelled", sched.cancelled);
+    sched_obj.emplace("cache_hits", sched.cache_hits);
+    sched_obj.emplace("goldens_prefetched", sched.goldens_prefetched);
+    sched_obj.emplace("queue_depth", sched.queue_depth);
+    const JobResultCache& job_cache = scheduler_->cache();
+    JsonValue::Object jc_obj;
+    jc_obj.emplace("hits", job_cache.hits());
+    jc_obj.emplace("misses", job_cache.misses());
+    jc_obj.emplace("size", job_cache.size());
+    jc_obj.emplace("evictions", job_cache.evictions());
+    jc_obj.emplace("capacity", job_cache.capacity());
     JsonValue::Object o;
     o.emplace("event", "stats");
     o.emplace("jobs", stats.jobs);
@@ -537,6 +721,8 @@ void ServerSession::emit_stats() {
     o.emplace("netlist_clones", stats.netlist_clones);
     o.emplace("workers", static_cast<std::size_t>(service_.worker_count()));
     o.emplace("golden_cache", std::move(cache_obj));
+    o.emplace("scheduler", std::move(sched_obj));
+    o.emplace("job_cache", std::move(jc_obj));
     emit(o);
 }
 

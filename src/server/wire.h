@@ -23,7 +23,16 @@
 /// version 1 — every PR-4 job line is a valid version-1 job. A version
 /// above kProtocolVersion is rejected with an error event. Both sides
 /// must ignore unknown fields, so minor additions never break old peers.
+///
+/// Version 2 (this build): the session schedules jobs asynchronously
+/// through server::JobScheduler — a job line is ACCEPTED (acknowledged
+/// with a `queued` event) instead of run inline, multiple jobs interleave
+/// on one connection, requests may carry `priority`/`client`, `job_done`
+/// reports `cached`/`queue_seconds`, and `{"cmd":"cancel"}` with an id
+/// also cancels still-queued jobs. Every version-1 request line is a
+/// valid version-2 request line.
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -37,8 +46,11 @@
 
 namespace xysig::server {
 
+class JobScheduler;
+class JobHandle;
+
 /// Protocol version this build speaks (echoed on ready/job_start events).
-inline constexpr int kProtocolVersion = 1;
+inline constexpr int kProtocolVersion = 2;
 
 /// The pipeline every wire peer runs: the paper's Table-I monitor bank
 /// over the paper stimulus. Fan-out bit-identity relies on coordinator
@@ -84,6 +96,16 @@ struct WireJob {
     std::size_t cancel_after = 0;
     bool emit_signatures = true;
     bool verify_serial = false;
+
+    // Scheduling options (version 2).
+    int priority = 0;   ///< higher dispatches first
+    std::string client; ///< fair-share identity; "" = anonymous
+
+    /// Exact content fingerprint of the FULL universe spec (hexfloat
+    /// values, built before member-range slicing, range excluded) — the
+    /// job half of the scheduler's whole-job cache key. Empty only for
+    /// universe kinds the cache does not cover.
+    std::string universe_key;
 };
 
 /// Decodes one job object (already JSON-parsed). Throws InvalidInput on a
@@ -106,46 +128,87 @@ wire_serial_reference(const WireJob& job, const core::SignaturePipeline& pipe);
 /// (the version rule). Throws InvalidInput with a reason on violation.
 void check_protocol_line(const std::string& line);
 
-/// Runs wire requests against a SweepService and emits NDJSON event lines
-/// through the sink. handle_line() is the blocking per-request entry
-/// point; cancel() may be called concurrently from another thread (the
-/// stdin reader in sweep_server, the fan-out coordinator via
-/// LoopbackTransport) to cooperatively cancel the in-flight job.
+/// Scheduler knobs a session forwards to its JobScheduler (mirrored here
+/// so wire.h need not include scheduler.h — scheduler.h includes wire.h).
+struct SessionOptions {
+    std::size_t max_pending = 1024; ///< queued-job bound (submit backpressure)
+    std::size_t cache_capacity = 64; ///< whole-job cache entries; 0 = off
+    bool prefetch_goldens = true;
+};
+
+/// Runs wire requests against a SweepService through a JobScheduler and
+/// emits NDJSON event lines through the sink. handle_line() is the
+/// non-blocking per-request entry point: a job line is decoded, submitted
+/// and acknowledged with a `queued` event, then its whole event stream
+/// (job_start/result/progress/job_done/verify or error) is emitted by a
+/// per-job emitter thread — so multiple in-flight jobs interleave on one
+/// connection while each job's own events stay in order. {"cmd":"quit"}
+/// drains every in-flight job before handle_line returns false, so no
+/// event line is ever lost to an exiting peer.
+///
+/// Thread-safety: handle_line()/drain() are driven by ONE reader thread;
+/// cancel() may be called concurrently from any thread (the fan-out
+/// coordinator via LoopbackTransport, a signal handler thread); the sink
+/// is invoked under an internal lock, one complete line at a time.
 class ServerSession {
 public:
     using LineSink = std::function<void(const std::string& line)>;
 
-    ServerSession(SweepService& service, LineSink sink);
+    ServerSession(SweepService& service, LineSink sink,
+                  SessionOptions options = {});
+    ~ServerSession(); ///< cancels in-flight jobs and joins emitters
+
+    ServerSession(const ServerSession&) = delete;
+    ServerSession& operator=(const ServerSession&) = delete;
 
     /// Emits the ready banner (version, workers, shard_size, spp).
     void emit_ready(std::size_t samples_per_period);
 
     /// Processes one request line. Returns false when the request was
-    /// {"cmd":"quit"}; protocol errors are reported as error events (and
-    /// keep the session alive), they are not thrown.
+    /// {"cmd":"quit"} (after draining); protocol errors are reported as
+    /// error events (and keep the session alive), they are not thrown.
     bool handle_line(const std::string& line);
 
-    /// Cooperative cancel of the in-flight job when `id` matches its id
-    /// (empty id = cancel whatever is running). No-op between jobs.
+    /// Cooperative cancel: a non-empty id cancels the matching queued or
+    /// running jobs; an empty id cancels whatever is running right now.
     void cancel(const std::string& id);
+
+    /// Blocks until every submitted job has finished emitting (the EOF
+    /// path of sweep_server; quit calls this internally).
+    void drain();
 
     /// False once any verify_serial check has failed (sweep_server exits
     /// non-zero on this).
-    [[nodiscard]] bool all_verified() const noexcept { return all_verified_; }
+    [[nodiscard]] bool all_verified() const noexcept {
+        return all_verified_.load(std::memory_order_acquire);
+    }
 
 private:
+    struct Emitter; ///< one per-job event-stream thread
+
     void emit(const JsonValue::Object& obj);
     void emit_error(const std::string& id, const std::string& message);
-    void run_job(const JsonValue& v);
+    void submit_job(const JsonValue& v);
+    void emit_job_events(JobHandle handle);
     void emit_stats();
+    void reap_finished_emitters_locked();
 
     SweepService& service_;
     LineSink sink_;
-    bool all_verified_ = true;
+    std::mutex sink_mutex_; ///< serialises whole emitted lines
+    std::atomic<bool> all_verified_{true};
+    std::unique_ptr<JobScheduler> scheduler_;
 
-    std::mutex cancel_mutex_; ///< guards the two fields below
-    SweepCancelToken* active_cancel_ = nullptr;
-    std::string active_id_;
+    std::mutex emitters_mutex_;
+    std::vector<std::unique_ptr<Emitter>> emitters_;
+
+    /// Pre-submit cancel window: SPICE decode takes milliseconds, and a
+    /// concurrent cancel() for the job being decoded must not be dropped
+    /// (the fan-out driver sends its cancel exactly once).
+    std::mutex precancel_mutex_;
+    std::string decoding_id_;
+    bool decoding_active_ = false;
+    bool decoding_cancelled_ = false;
 };
 
 } // namespace xysig::server

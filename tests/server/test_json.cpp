@@ -82,6 +82,63 @@ TEST(Json, RejectsMalformedInput) {
     EXPECT_THROW((void)JsonValue::parse("{\"a\":1}{}"), InvalidInput);
 }
 
+TEST(Json, RejectsNonRfc8259Numbers) {
+    // RFC 8259 number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?.
+    // std::from_chars alone is laxer than that (it accepts "inf"/"nan" and
+    // leading-zero forms), so the parser pre-scans the grammar; none of
+    // these may sneak onto the wire as a number.
+    for (const char* bad :
+         {"inf", "-inf", "Infinity", "-Infinity", "nan", "-nan", "NaN",
+          "01", "-01", "00", "1.", "-2.", ".5", "-.5", "+1", "1e", "1e+",
+          "1.e3", "0x10", "1_000", "--1", "1..2", "1.2.3", "9e999999999"}) {
+        EXPECT_THROW((void)JsonValue::parse(bad), InvalidInput) << bad;
+        EXPECT_THROW((void)JsonValue::parse(std::string("{\"x\":") + bad + "}"),
+                     InvalidInput)
+            << bad;
+    }
+    // The strict grammar still admits every legitimate spelling.
+    for (const char* good : {"0", "-0", "10", "0.5", "-0.5", "1e3", "1E-3",
+                             "1e+3", "0e0", "123.456e-7"})
+        EXPECT_NO_THROW((void)JsonValue::parse(good)) << good;
+}
+
+TEST(Json, NestingDepthIsBounded) {
+    // An adversarial line of ~100k '[' used to recurse once per bracket and
+    // overflow the stack; depth is now capped (default 64) with a clean
+    // InvalidInput instead.
+    const auto nested = [](std::size_t depth) {
+        return std::string(depth, '[') + "1" + std::string(depth, ']');
+    };
+    EXPECT_NO_THROW((void)JsonValue::parse(nested(64))); // at the cap
+    EXPECT_THROW((void)JsonValue::parse(nested(65)), InvalidInput);
+    EXPECT_THROW((void)JsonValue::parse(nested(100000)), InvalidInput);
+    EXPECT_THROW((void)JsonValue::parse(std::string(100000, '[')),
+                 InvalidInput); // unbalanced variant must not overflow either
+    // Mixed object/array nesting counts every container level.
+    std::string mixed = "1";
+    for (std::size_t i = 0; i < 50; ++i)
+        mixed = "{\"k\":[" + mixed + "]}";
+    EXPECT_THROW((void)JsonValue::parse(mixed), InvalidInput);
+    // The cap is a parse option, not a hard constant.
+    JsonParseOptions deep;
+    deep.max_depth = 200;
+    EXPECT_NO_THROW((void)JsonValue::parse(nested(200), deep));
+    EXPECT_THROW((void)JsonValue::parse(nested(201), deep), InvalidInput);
+}
+
+TEST(Json, DuplicateKeysRejectedInStrictMode) {
+    const std::string dup = R"({"id":"a","id":"b"})";
+    // The tolerant parse keeps last-wins (interoperability with peers that
+    // emit duplicates), strict mode refuses the line outright.
+    EXPECT_EQ(JsonValue::parse(dup).at("id").as_string(), "b");
+    EXPECT_THROW((void)JsonValue::parse_strict(dup), InvalidInput);
+    EXPECT_THROW((void)JsonValue::parse_strict(
+                     R"({"outer":{"k":1,"k":2}})"), // nested objects too
+                 InvalidInput);
+    EXPECT_NO_THROW((void)JsonValue::parse_strict(
+        R"({"a":{"k":1},"b":{"k":2}})")); // same key in sibling objects is fine
+}
+
 TEST(Json, KindMismatchThrows) {
     const JsonValue v = JsonValue::parse("[1]");
     EXPECT_THROW((void)v.as_object(), InvalidInput);
@@ -201,6 +258,66 @@ TEST(Wire, CheckProtocolLineAcceptsTheSchemaAndRejectsDrift) {
                  InvalidInput); // wrong type
     EXPECT_THROW(check_protocol_line(R"({"hello":"world"})"), InvalidInput);
     EXPECT_THROW(check_protocol_line(R"([1,2,3])"), InvalidInput);
+}
+
+TEST(Wire, CheckProtocolLineIsStrictAboutMaliciousLines) {
+    // The `--check` gate (and the live session) run the hardened parser:
+    // non-RFC-8259 numbers, pathological nesting and duplicate keys are
+    // schema violations, not silently-massaged input.
+    EXPECT_THROW(check_protocol_line(
+                     R"({"job":"deviations","deviations":[-inf,5]})"),
+                 InvalidInput);
+    EXPECT_THROW(check_protocol_line(
+                     R"({"job":"deviations","deviations":[01,5]})"),
+                 InvalidInput);
+    EXPECT_THROW(
+        check_protocol_line(std::string(100000, '[')), // depth bomb
+        InvalidInput);
+    EXPECT_THROW(check_protocol_line(
+                     R"({"cmd":"cancel","id":"a","id":"b"})"), // dup key
+                 InvalidInput);
+}
+
+TEST(Wire, SchedulingFieldsParseAndValidate) {
+    const WireJob wire = parse_wire_job(JsonValue::parse(
+        R"({"job":"deviations","version":2,"deviations":[-5,5],"priority":7,"client":"tester"})"));
+    EXPECT_EQ(wire.version, 2);
+    EXPECT_EQ(wire.priority, 7);
+    EXPECT_EQ(wire.client, "tester");
+    // Defaults when absent.
+    const WireJob plain = parse_wire_job(
+        JsonValue::parse(R"({"job":"deviations","deviations":[-5,5]})"));
+    EXPECT_EQ(plain.priority, 0);
+    EXPECT_TRUE(plain.client.empty());
+    // Priority must be an integer in a sane range.
+    EXPECT_THROW((void)parse_wire_job(JsonValue::parse(
+                     R"({"job":"deviations","deviations":[1],"priority":1.5})")),
+                 InvalidInput);
+    EXPECT_THROW((void)parse_wire_job(JsonValue::parse(
+                     R"({"job":"deviations","deviations":[1],"priority":1e10})")),
+                 InvalidInput);
+}
+
+TEST(Wire, UniverseKeyIsContentAddressedAndRangeFree) {
+    // The whole-job cache key half: the same full universe spelled as an
+    // explicit list or a grid hashes identically, and the member range is
+    // excluded (covering-range lookups depend on that).
+    const WireJob list = parse_wire_job(JsonValue::parse(
+        R"({"job":"deviations","deviations":[-20,-10,0,10,20]})"));
+    const WireJob grid = parse_wire_job(JsonValue::parse(
+        R"({"job":"deviations","grid":{"from":-20,"to":20,"count":5}})"));
+    ASSERT_FALSE(list.universe_key.empty());
+    EXPECT_EQ(list.universe_key, grid.universe_key);
+    const WireJob slice = parse_wire_job(JsonValue::parse(
+        R"({"job":"deviations","deviations":[-20,-10,0,10,20],"members":{"first":1,"count":2}})"));
+    EXPECT_EQ(slice.universe_key, list.universe_key);
+    // Different parameter or different values = different key.
+    const WireJob q = parse_wire_job(JsonValue::parse(
+        R"({"job":"deviations","parameter":"q","deviations":[-20,-10,0,10,20]})"));
+    EXPECT_NE(q.universe_key, list.universe_key);
+    const WireJob other = parse_wire_job(JsonValue::parse(
+        R"({"job":"deviations","deviations":[-20,-10,0,10,21]})"));
+    EXPECT_NE(other.universe_key, list.universe_key);
 }
 
 } // namespace
