@@ -10,10 +10,18 @@
 // (what the CI smoke does). Speedup is bounded by physical cores —
 // determinism is not, which is the point of the gate.
 //
+// --tcp serves the workers from an in-process TcpListener (each partition
+// connects over a real localhost socket, heartbeats on); --chaos appends
+// a fault-injection matrix at 4 partitions — disconnect, stall, truncate,
+// garbage, delay — each row gated on the merged stream staying
+// bit-identical to the single-process reference while the driver recovers
+// by re-dispatch (or work-stealing, for the delay straggler).
+//
 // Flags: --smoke (reduced sizes for CI), --json=PATH (machine-readable
 // summary; default bench_fanout.json), --server=PATH, --workers=N (per
-// worker peer).
+// worker peer), --tcp, --chaos.
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -25,7 +33,9 @@
 #include "common/strings.h"
 #include "common/table.h"
 #include "common/timing.h"
+#include "server/chaos.h"
 #include "server/fanout.h"
+#include "server/tcp_transport.h"
 #include "server/transport.h"
 #include "server/wire.h"
 
@@ -40,6 +50,7 @@ struct Row {
     double members_per_s = 0.0;
     double speedup = 1.0;
     unsigned redispatches = 0;
+    unsigned steals = 0;
     bool bit_identical = true;
 };
 
@@ -71,6 +82,7 @@ void write_json(const std::string& path, bool smoke,
             << ", \"members_per_s\": " << format_double(r.members_per_s, 6)
             << ", \"speedup\": " << format_double(r.speedup, 4)
             << ", \"redispatches\": " << r.redispatches
+            << ", \"steals\": " << r.steals
             << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false")
             << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
@@ -81,6 +93,8 @@ void write_json(const std::string& path, bool smoke,
 
 int main(int argc, char** argv) {
     bool smoke = false;
+    bool tcp = false;
+    bool chaos = false;
     std::string json_path = "bench_fanout.json";
     std::string server_path;
     unsigned worker_threads = 2;
@@ -88,6 +102,10 @@ int main(int argc, char** argv) {
         const std::string arg = argv[i];
         if (arg == "--smoke")
             smoke = true;
+        else if (arg == "--tcp")
+            tcp = true;
+        else if (arg == "--chaos")
+            chaos = true;
         else if (arg.rfind("--json=", 0) == 0)
             json_path = arg.substr(7);
         else if (arg.rfind("--server=", 0) == 0)
@@ -101,10 +119,25 @@ int main(int argc, char** argv) {
     const std::size_t spp = smoke ? 256 : 512;
     const std::vector<unsigned> partition_counts = {1, 2, 4};
     const std::string transport_name =
-        server_path.empty() ? "loopback" : "process";
+        tcp ? "tcp" : (server_path.empty() ? "loopback" : "process");
 
+    // --tcp: one in-process accept loop, each partition a real localhost
+    // socket with v3 heartbeats flowing.
+    std::unique_ptr<server::TcpListener> listener;
     server::FanoutDriver::TransportFactory factory;
-    if (!server_path.empty()) {
+    if (tcp) {
+        server::TcpListener::Options topts;
+        topts.bind_address = "127.0.0.1";
+        topts.workers = worker_threads;
+        topts.samples_per_period = spp;
+        topts.session.heartbeat_seconds = 0.2;
+        listener = std::make_unique<server::TcpListener>(topts);
+        listener->start();
+        const unsigned short port = listener->port();
+        factory = [port] {
+            return std::make_unique<server::TcpTransport>("127.0.0.1", port);
+        };
+    } else if (!server_path.empty()) {
         const std::vector<std::string> worker_argv = {
             server_path, "--spp=" + std::to_string(spp),
             "--workers=" + std::to_string(worker_threads)};
@@ -159,15 +192,18 @@ int main(int argc, char** argv) {
         });
         rows.push_back({workload, 0, t_single,
                         static_cast<double>(reference.size()) / t_single, 1.0,
-                        0, true});
+                        0, 0, true});
 
         for (const unsigned partitions : partition_counts) {
             server::FanoutOptions fopts;
             fopts.partitions = partitions;
+            if (tcp)
+                fopts.read_timeout_seconds = 10.0; // heartbeats keep it safe
             server::FanoutDriver driver(factory, fopts);
             std::vector<std::string> merged;
             merged.reserve(reference.size());
             unsigned redispatches = 0;
+            unsigned steals = 0;
             const double dt = seconds_of([&] {
                 merged.clear();
                 const auto summary = driver.run(
@@ -175,6 +211,7 @@ int main(int argc, char** argv) {
                         merged.push_back(r.ndf_hex);
                     });
                 redispatches = summary.redispatches;
+                steals = summary.steals;
             });
             bool identical = merged.size() == reference.size();
             if (identical)
@@ -183,17 +220,77 @@ int main(int argc, char** argv) {
             all_identical = all_identical && identical;
             rows.push_back({workload, partitions, dt,
                             static_cast<double>(reference.size()) / dt,
-                            t_single / dt, redispatches, identical});
+                            t_single / dt, redispatches, steals, identical});
+        }
+
+        // --chaos: every fault mode against the 4-partition fan-out, first
+        // transport poisoned, recovery (re-dispatch or steal) must still
+        // produce the exact single-process bits.
+        if (chaos) {
+            const server::ChaosMode modes[] = {
+                server::ChaosMode::disconnect, server::ChaosMode::stall,
+                server::ChaosMode::truncate, server::ChaosMode::garbage,
+                server::ChaosMode::delay};
+            // Fire mid-stream of partition 0's range (4 partitions).
+            const std::size_t after =
+                std::max<std::size_t>(1, wire.universe_members / 4 / 3);
+            for (const server::ChaosMode mode : modes) {
+                server::ChaosPlan plan;
+                plan.mode = mode;
+                plan.after_lines = after;
+                plan.stall_seconds = 0.0; // a stall that never recovers
+                plan.delay_seconds = 0.02;
+                server::FanoutOptions fopts;
+                fopts.partitions = 4;
+                fopts.read_timeout_seconds = 2.0;
+                fopts.max_attempts = 4;
+                if (mode == server::ChaosMode::delay)
+                    fopts.steal_threshold = 4; // rescue the straggler
+                server::FanoutDriver driver(
+                    server::chaos_factory(factory, plan), fopts);
+                std::vector<std::string> merged;
+                merged.reserve(reference.size());
+                unsigned redispatches = 0;
+                unsigned steals = 0;
+                bool failed = false;
+                const double dt = seconds_of([&] {
+                    try {
+                        const auto summary = driver.run(
+                            job_line, [&](const server::FanoutRecord& r) {
+                                merged.push_back(r.ndf_hex);
+                            });
+                        redispatches = summary.redispatches;
+                        steals = summary.steals;
+                    } catch (const std::exception& e) {
+                        std::cerr << "chaos "
+                                  << server::chaos_mode_name(mode)
+                                  << " run failed: " << e.what() << "\n";
+                        failed = true;
+                    }
+                });
+                bool identical = !failed && merged.size() == reference.size();
+                if (identical)
+                    for (std::size_t i = 0; i < reference.size(); ++i)
+                        identical = identical && merged[i] == reference[i];
+                all_identical = all_identical && identical;
+                rows.push_back({workload + std::string(" +chaos:") +
+                                    server::chaos_mode_name(mode),
+                                4, dt,
+                                static_cast<double>(reference.size()) / dt,
+                                t_single / dt, redispatches, steals,
+                                identical});
+            }
         }
     }
 
     TextTable t({"workload", "partitions", "time (s)", "members/s", "speedup",
-                 "redispatch", "bit-identical"});
+                 "redispatch", "steals", "bit-identical"});
     for (const Row& r : rows) {
         t.add_row({r.workload,
                    r.partitions == 0 ? "single" : std::to_string(r.partitions),
                    format_double(r.seconds, 4), format_double(r.members_per_s, 1),
                    format_double(r.speedup, 2), std::to_string(r.redispatches),
+                   std::to_string(r.steals),
                    r.partitions == 0 ? "-"
                                      : (r.bit_identical ? "yes" : "NO (BUG)")});
     }

@@ -17,11 +17,15 @@
 // Flags:
 //   --processes=N      partition count (default 2)
 //   --server=PATH      spawn PATH per partition (default: in-process loopback)
+//   --connect=HOST:PORT connect each partition to a listening
+//                      `sweep_server --listen` instead of spawning children
 //   --workers=N        worker threads per worker process (0 = its default)
 //   --spp=N            samples per period handed to workers (default 512)
 //   --shard-size=N     in-worker shard size (default 64)
 //   --timeout=SECONDS  per-partition inactivity timeout before re-dispatch
-//   --max-attempts=N   dispatch attempts per partition (default 3)
+//   --max-attempts=N   dispatch attempts per dispatched range (default 3)
+//   --steal-threshold=N work-stealing: idle partitions take the top half
+//                      of the slowest tail once it is >= N members (0 = off)
 //   --verify           single-process bit-identity gate
 //   --quiet            suppress merged result lines (summary/verify only)
 //   --job=JSON         job inline instead of the first stdin line
@@ -33,6 +37,7 @@
 
 #include "server/fanout.h"
 #include "server/json.h"
+#include "server/tcp_transport.h"
 #include "server/transport.h"
 #include "server/wire.h"
 
@@ -50,11 +55,13 @@ void emit(const JsonValue::Object& obj) {
 int main(int argc, char** argv) {
     unsigned processes = 2;
     std::string server_path;
+    std::string connect_endpoint;
     unsigned workers = 0;
     std::size_t spp = 512;
     std::size_t shard_size = 64;
     double timeout = 0.0;
     unsigned max_attempts = 3;
+    std::size_t steal_threshold = 0;
     bool verify = false;
     bool quiet = false;
     std::string job_text;
@@ -64,6 +71,10 @@ int main(int argc, char** argv) {
             processes = static_cast<unsigned>(std::stoul(arg.substr(12)));
         else if (arg.rfind("--server=", 0) == 0)
             server_path = arg.substr(9);
+        else if (arg.rfind("--connect=", 0) == 0)
+            connect_endpoint = arg.substr(10);
+        else if (arg.rfind("--steal-threshold=", 0) == 0)
+            steal_threshold = std::stoul(arg.substr(18));
         else if (arg.rfind("--workers=", 0) == 0)
             workers = static_cast<unsigned>(std::stoul(arg.substr(10)));
         else if (arg.rfind("--spp=", 0) == 0)
@@ -92,7 +103,19 @@ int main(int argc, char** argv) {
     }
 
     server::FanoutDriver::TransportFactory factory;
-    if (!server_path.empty()) {
+    if (!connect_endpoint.empty()) {
+        const std::size_t colon = connect_endpoint.rfind(':');
+        if (colon == std::string::npos || colon + 1 >= connect_endpoint.size()) {
+            std::cerr << "sweep_fanout: --connect expects HOST:PORT\n";
+            return 2;
+        }
+        const std::string host = connect_endpoint.substr(0, colon);
+        const unsigned short port = static_cast<unsigned short>(
+            std::stoul(connect_endpoint.substr(colon + 1)));
+        factory = [host, port] {
+            return std::make_unique<server::TcpTransport>(host, port);
+        };
+    } else if (!server_path.empty()) {
         std::vector<std::string> worker_argv = {server_path,
                                                 "--spp=" + std::to_string(spp)};
         if (workers != 0)
@@ -115,13 +138,16 @@ int main(int argc, char** argv) {
     fopts.partitions = processes;
     fopts.read_timeout_seconds = timeout;
     fopts.max_attempts = max_attempts;
+    fopts.steal_threshold = steal_threshold;
     fopts.verify_single_process = verify;
 
     {
         JsonValue::Object o;
         o.emplace("event", "fanout_start");
         o.emplace("partitions", static_cast<std::size_t>(processes));
-        o.emplace("transport", server_path.empty() ? "loopback" : "process");
+        o.emplace("transport", !connect_endpoint.empty() ? "tcp"
+                               : server_path.empty()     ? "loopback"
+                                                         : "process");
         o.emplace("version", server::kProtocolVersion);
         emit(o);
     }
@@ -156,6 +182,7 @@ int main(int argc, char** argv) {
                 o.emplace("attempts", static_cast<std::size_t>(p.attempts));
                 o.emplace("seconds", p.seconds);
                 o.emplace("netlist_clones", p.netlist_clones);
+                o.emplace("steals", static_cast<std::size_t>(p.steals));
                 o.emplace("cancelled", p.cancelled);
                 parts.emplace_back(std::move(o));
             }
@@ -168,6 +195,14 @@ int main(int argc, char** argv) {
             o.emplace("netlist_clones", summary.netlist_clones);
             o.emplace("redispatches",
                       static_cast<std::size_t>(summary.redispatches));
+            o.emplace("steals", static_cast<std::size_t>(summary.steals));
+            o.emplace("heartbeats", summary.heartbeats);
+            if (!summary.warnings.empty()) {
+                JsonValue::Array warnings;
+                for (const std::string& w : summary.warnings)
+                    warnings.emplace_back(w);
+                o.emplace("warnings", std::move(warnings));
+            }
             o.emplace("partition_seconds_min", summary.partition_seconds_min);
             o.emplace("partition_seconds_max", summary.partition_seconds_max);
             o.emplace("partition_seconds_mean", summary.partition_seconds_mean);

@@ -19,16 +19,30 @@
 // queue + the OS pipe. {"cmd":"quit"} drains every in-flight job before
 // the loop exits, as does EOF.
 //
+// With --listen=PORT the same protocol is served over TCP instead of
+// stdin/stdout: the process binds the port (0 = ephemeral), announces
+// `{"event":"listening","address":...,"port":N}` on stdout, and serves
+// every accepted connection with its own session — by default each
+// connection also gets its own worker pool, so one listening host can
+// serve all partitions of a `sweep_fanout --connect` run concurrently.
+//
 // Flags: --workers=N --shard-size=N --spp=N (pipeline samples per period)
 //        --queue=N (max queued jobs before submit blocks)
 //        --job-cache=N (whole-job result cache entries; 0 disables)
 //        --no-prefetch (disable golden prefetch for queued jobs)
+//        --heartbeat=SECONDS (emit v3 heartbeat events; 0 = off)
+//        --listen=PORT (serve TCP connections instead of stdin; 0 picks
+//        an ephemeral port, announced on stdout)
+//        --bind=ADDR (listen address, default 0.0.0.0)
+//        --share-service (one worker pool shared by every connection)
 //        --check (schema-validate stdin lines, exit non-zero on the first
 //        invalid one)
 
 #include <iostream>
 #include <string>
 
+#include "server/json.h"
+#include "server/tcp_transport.h"
 #include "server/wire.h"
 
 namespace {
@@ -66,6 +80,10 @@ int main(int argc, char** argv) {
     std::size_t samples_per_period = 512;
     server::SessionOptions session_opts;
     bool check = false;
+    bool listen = false;
+    unsigned short listen_port = 0;
+    std::string bind_address = "0.0.0.0";
+    bool share_service = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--workers=", 0) == 0)
@@ -80,6 +98,15 @@ int main(int argc, char** argv) {
             session_opts.cache_capacity = std::stoul(arg.substr(12));
         else if (arg == "--no-prefetch")
             session_opts.prefetch_goldens = false;
+        else if (arg.rfind("--heartbeat=", 0) == 0)
+            session_opts.heartbeat_seconds = std::stod(arg.substr(12));
+        else if (arg.rfind("--listen=", 0) == 0) {
+            listen = true;
+            listen_port = static_cast<unsigned short>(std::stoul(arg.substr(9)));
+        } else if (arg.rfind("--bind=", 0) == 0)
+            bind_address = arg.substr(7);
+        else if (arg == "--share-service")
+            share_service = true;
         else if (arg == "--check")
             check = true;
         else {
@@ -89,6 +116,37 @@ int main(int argc, char** argv) {
     }
     if (check)
         return run_check_mode();
+
+    if (listen) {
+        server::TcpListener::Options lopts;
+        lopts.bind_address = bind_address;
+        lopts.port = listen_port;
+        lopts.workers = workers;
+        lopts.shard_size = shard_size;
+        lopts.samples_per_period = samples_per_period;
+        lopts.session = session_opts;
+        lopts.share_service = share_service;
+        try {
+            server::TcpListener listener(lopts);
+            {
+                // The one stdout line of listen mode: tells the launcher
+                // (CI script, test harness) which port an ephemeral bind
+                // actually got. The NDJSON conversation itself happens on
+                // the accepted sockets.
+                server::JsonValue::Object o;
+                o.emplace("event", "listening");
+                o.emplace("address", bind_address);
+                o.emplace("port", static_cast<std::size_t>(listener.port()));
+                std::cout << server::JsonValue(std::move(o)).dump() << "\n"
+                          << std::flush;
+            }
+            listener.run(); // until the process is signalled
+        } catch (const std::exception& e) {
+            std::cerr << "sweep_server --listen: " << e.what() << "\n";
+            return 1;
+        }
+        return 0;
+    }
 
     server::SweepServiceOptions sopts;
     sopts.workers = workers;

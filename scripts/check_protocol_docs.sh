@@ -14,7 +14,7 @@ doc="${2:-docs/PROTOCOL.md}"
 
 lines=$(awk '/^```json$/{f=1;next} /^```$/{f=0} f' "$doc")
 count=$(printf '%s\n' "$lines" | grep -c '[^[:space:]]' || true)
-if [ "$count" -lt 10 ]; then
+if [ "$count" -lt 35 ]; then
     echo "check_protocol_docs: only $count example lines extracted from $doc — fences moved?" >&2
     exit 1
 fi

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -42,6 +43,7 @@ struct FanoutDriver::Shared {
     std::string base_id;
     SweepCancelToken* cancel = nullptr;
     std::atomic<bool> abort{false}; ///< failure or callback exception
+    std::atomic<std::size_t> heartbeats{0}; ///< v3 liveness events seen
 
     [[nodiscard]] bool stop_requested() const noexcept {
         return abort.load(std::memory_order_relaxed) ||
@@ -49,6 +51,18 @@ struct FanoutDriver::Shared {
     }
 
     std::mutex factory_mutex; ///< serialises TransportFactory invocations
+
+    /// One dispatchable member range. Initially one per partition; work
+    /// stealing appends more (a stolen tail is a new segment attributed
+    /// to the victim partition). `end` only ever SHRINKS (when stolen
+    /// from) and `next_needed` only ever grows, both under `mutex` —
+    /// that monotonicity is what makes the steal split exact.
+    struct Segment {
+        std::size_t next_needed = 0;
+        std::size_t end = 0;
+        std::size_t partition = 0; ///< outcome this segment accounts to
+        bool running = false;      ///< a thread is (or will be) serving it
+    };
 
     std::mutex mutex; ///< guards everything below
     std::condition_variable cv;
@@ -58,6 +72,8 @@ struct FanoutDriver::Shared {
     std::string failure;
     std::size_t samples_per_period = 0; ///< from the first ready banner
     std::vector<PartitionOutcome> outcomes;
+    std::deque<Segment> segments; ///< deque: steals append, references live
+    unsigned steals = 0;
 
     void fail(const std::string& why) {
         abort.store(true, std::memory_order_relaxed);
@@ -68,6 +84,42 @@ struct FanoutDriver::Shared {
         }
         cv.notify_all();
     }
+
+    /// Picks the slowest running range with a stealable tail, halves it,
+    /// and appends the top half as a new running segment. Returns its
+    /// index, or npos when nothing is worth stealing. Caller holds mutex.
+    [[nodiscard]] std::size_t try_steal_locked(std::size_t threshold) {
+        // A 1-member tail cannot be split so that both sides keep work.
+        const std::size_t min_tail = std::max<std::size_t>(threshold, 2);
+        std::size_t victim = npos;
+        std::size_t victim_tail = 0;
+        for (std::size_t i = 0; i < segments.size(); ++i) {
+            const Segment& s = segments[i];
+            if (!s.running)
+                continue;
+            const std::size_t tail = s.end - s.next_needed;
+            if (tail >= min_tail && tail > victim_tail) {
+                victim = i;
+                victim_tail = tail;
+            }
+        }
+        if (victim == npos)
+            return npos;
+        Segment& v = segments[victim];
+        const std::size_t mid = v.next_needed + (v.end - v.next_needed) / 2;
+        Segment stolen;
+        stolen.next_needed = mid;
+        stolen.end = v.end;
+        stolen.partition = v.partition;
+        stolen.running = true;
+        v.end = mid; // the victim stops at its first result >= mid
+        segments.push_back(stolen);
+        ++steals;
+        ++outcomes[v.partition].steals;
+        return segments.size() - 1;
+    }
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 };
 
 FanoutDriver::FanoutDriver(TransportFactory factory, FanoutOptions options)
@@ -77,29 +129,71 @@ FanoutDriver::FanoutDriver(TransportFactory factory, FanoutOptions options)
     XYSIG_EXPECTS(options_.max_attempts >= 1);
 }
 
-void FanoutDriver::partition_main(Shared& shared, std::size_t partition) {
-    PartitionOutcome& out = shared.outcomes[partition];
-    const std::size_t end = out.first_member + out.member_count;
-    std::size_t next_needed = out.first_member;
+void FanoutDriver::partition_main(Shared& shared, std::size_t first_segment) {
     const auto t0 = Clock::now();
-    bool done = false;
+    std::size_t segment = first_segment;
+    while (segment != Shared::npos) {
+        serve_segment(shared, segment);
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        shared.segments[segment].running = false;
+        segment = Shared::npos;
+        if (options_.steal_threshold > 0 && !shared.stop_requested() &&
+            !shared.failed)
+            segment = shared.try_steal_locked(options_.steal_threshold);
+    }
+
+    // Wall-clock attributed to the thread's home partition: with stealing
+    // on it includes time spent rescuing stragglers, which is exactly the
+    // idle time stealing reclaims.
+    shared.outcomes[first_segment].seconds = seconds_since(t0);
+    {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        --shared.active;
+    }
+    shared.cv.notify_all();
+}
+
+void FanoutDriver::serve_segment(Shared& shared, std::size_t segment_index) {
+    std::size_t partition = 0;
+    std::size_t next_needed = 0;
+    std::size_t end = 0;
+    {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        const Shared::Segment& seg = shared.segments[segment_index];
+        partition = seg.partition;
+        next_needed = seg.next_needed;
+        end = seg.end;
+    }
+    PartitionOutcome& out = shared.outcomes[partition];
+    unsigned attempts = 0; ///< this segment's own dispatch budget
+    bool done = next_needed >= end; // a tail stolen down to nothing
 
     while (!done) {
         if (shared.stop_requested()) {
+            std::lock_guard<std::mutex> lock(shared.mutex);
             out.cancelled = true;
             break;
         }
-        if (out.attempts >= options_.max_attempts) {
+        if (attempts >= options_.max_attempts) {
             shared.fail("fanout: partition " + std::to_string(partition) +
                         " exhausted " + std::to_string(options_.max_attempts) +
                         " dispatch attempts");
             break;
         }
-        ++out.attempts;
-        std::unique_ptr<Transport> transport;
+        ++attempts;
         {
+            std::lock_guard<std::mutex> lock(shared.mutex);
+            ++out.attempts;
+        }
+        std::unique_ptr<Transport> transport;
+        try {
             std::lock_guard<std::mutex> lock(shared.factory_mutex);
             transport = factory_();
+        } catch (const std::exception&) {
+            // A factory that cannot produce a peer right now (connect
+            // refused, resources) costs one attempt, like a peer that
+            // died during handshake — it must not unwind this thread.
+            continue;
         }
 
         // Handshake: wait for the ready banner (and pin the peers to one
@@ -153,16 +247,31 @@ void FanoutDriver::partition_main(Shared& shared, std::size_t partition) {
 
         // Dispatch the (remaining) member range. Driver-owned concerns are
         // stripped: progress/cancel_after/verify_serial belong to direct
-        // sweep_server consumers, not to partitions.
+        // sweep_server consumers, not to partitions. The range is re-read
+        // under the lock: a steal may have shrunk the end since the last
+        // attempt, and dispatching members another thread now owns would
+        // compute them twice.
+        std::size_t dispatch_end = 0;
+        {
+            std::lock_guard<std::mutex> lock(shared.mutex);
+            const Shared::Segment& seg = shared.segments[segment_index];
+            next_needed = seg.next_needed;
+            dispatch_end = seg.end;
+        }
+        if (next_needed >= dispatch_end) {
+            done = true;
+            transport->shutdown();
+            break;
+        }
         {
             JsonValue::Object job = shared.base_job;
             JsonValue::Object members;
             members.emplace("first", next_needed);
-            members.emplace("count", end - next_needed);
+            members.emplace("count", dispatch_end - next_needed);
             job.insert_or_assign("members", JsonValue(std::move(members)));
             job.insert_or_assign("id", shared.base_id + "#p" +
-                                           std::to_string(partition) + "a" +
-                                           std::to_string(out.attempts));
+                                           std::to_string(segment_index) +
+                                           "a" + std::to_string(attempts));
             job.insert_or_assign("version", JsonValue(kProtocolVersion));
             job.insert_or_assign("progress_every", JsonValue(0));
             job.insert_or_assign("cancel_after", JsonValue(0));
@@ -213,7 +322,8 @@ void FanoutDriver::partition_main(Shared& shared, std::size_t partition) {
                 if (kind == "result") {
                     FanoutRecord record;
                     record.member = size_field(event, "member");
-                    if (record.member < next_needed || record.member >= end)
+                    if (record.member < next_needed ||
+                        record.member >= dispatch_end)
                         throw InvalidInput(
                             "fanout: result member outside the dispatched "
                             "range");
@@ -222,20 +332,54 @@ void FanoutDriver::partition_main(Shared& shared, std::size_t partition) {
                     record.label = event.string_or("label", "");
                     if (event.has("signature"))
                         record.signature = event.at("signature").as_string();
-                    next_needed = record.member + 1;
-                    ++out.members_done;
+                    bool range_complete = false;
                     {
                         std::lock_guard<std::mutex> lock(shared.mutex);
-                        shared.ready.emplace(record.member, std::move(record));
+                        Shared::Segment& seg = shared.segments[segment_index];
+                        if (record.member >= seg.end) {
+                            // The tail from seg.end on was stolen while the
+                            // peer was still computing it; every member this
+                            // segment still owns has been delivered. The
+                            // record is dropped, not merged — the thief owns
+                            // it now, and merging both would double-deliver.
+                            seg.next_needed = seg.end;
+                            range_complete = true;
+                        } else {
+                            next_needed = record.member + 1;
+                            seg.next_needed = next_needed;
+                            ++out.members_done;
+                            shared.ready.emplace(record.member,
+                                                 std::move(record));
+                        }
                     }
                     shared.cv.notify_all();
+                    if (range_complete) {
+                        // Stop the peer from burning CPU on stolen members.
+                        (void)transport->send_line(R"({"cmd":"cancel"})");
+                        (void)transport->send_line(R"({"cmd":"quit"})");
+                        done = true;
+                    }
+                } else if (kind == "heartbeat") {
+                    // v3 liveness: receiving it already refreshed
+                    // last_activity (that is its whole job); counted so
+                    // tests can assert the channel was actually exercised.
+                    shared.heartbeats.fetch_add(1, std::memory_order_relaxed);
                 } else if (kind == "job_done") {
-                    out.netlist_clones += size_field(event, "netlist_clones");
                     const bool job_cancelled = event.at("cancelled").as_bool();
+                    std::size_t current_end = 0;
+                    {
+                        std::lock_guard<std::mutex> lock(shared.mutex);
+                        out.netlist_clones +=
+                            size_field(event, "netlist_clones");
+                        current_end = shared.segments[segment_index].end;
+                    }
                     if (job_cancelled) {
+                        std::lock_guard<std::mutex> lock(shared.mutex);
                         out.cancelled = true;
                         done = true;
-                    } else if (next_needed == end) {
+                    } else if (next_needed >= current_end) {
+                        // >= not ==: a steal may have shrunk the end below
+                        // the range this peer was dispatched.
                         done = true;
                     } else {
                         // A healthy, uncancelled peer must cover its whole
@@ -257,7 +401,7 @@ void FanoutDriver::partition_main(Shared& shared, std::size_t partition) {
                                 event.string_or("message", "unknown error"));
                     done = true;
                 }
-                // ready / progress / stats / verify: ignored.
+                // ready / progress / stats / verify / pong: ignored.
             } catch (const std::exception&) {
                 peer_dead = true; // a peer emitting garbage is a dead peer
             }
@@ -267,6 +411,7 @@ void FanoutDriver::partition_main(Shared& shared, std::size_t partition) {
         if (!done && peer_dead) {
             if (shared.stop_requested()) {
                 // Don't re-dispatch work the caller no longer wants.
+                std::lock_guard<std::mutex> lock(shared.mutex);
                 out.cancelled = true;
                 done = true;
             }
@@ -274,13 +419,6 @@ void FanoutDriver::partition_main(Shared& shared, std::size_t partition) {
             // prefix is contiguous, so nothing is recomputed or duplicated.
         }
     }
-
-    out.seconds = seconds_since(t0);
-    {
-        std::lock_guard<std::mutex> lock(shared.mutex);
-        --shared.active;
-    }
-    shared.cv.notify_all();
 }
 
 FanoutSummary FanoutDriver::run(const std::string& job_line,
@@ -340,10 +478,23 @@ FanoutSummary FanoutDriver::run(const JsonValue& job,
         out.first_member = starts[i];
         out.member_count =
             (i + 1 < starts.size() ? starts[i + 1] : total) - starts[i];
+
+        Shared::Segment seg;
+        seg.next_needed = out.first_member;
+        seg.end = out.first_member + out.member_count;
+        seg.partition = i;
+        seg.running = out.member_count > 0;
+        shared.segments.push_back(seg);
     }
 
     FanoutSummary summary;
     summary.members_total = total;
+    if (options_.read_timeout_seconds <= 0.0)
+        summary.warnings.push_back(
+            "read_timeout_seconds is 0: a worker that wedges without closing "
+            "its pipe or socket will hang the run forever — set an "
+            "inactivity timeout (server heartbeats keep slow-but-alive "
+            "workers from being shot)");
 
     const auto t0 = Clock::now();
     std::vector<std::thread> threads;
@@ -422,12 +573,20 @@ FanoutSummary FanoutDriver::run(const JsonValue& job,
     summary.seconds = seconds_since(t0);
     summary.members_done = delivered;
     summary.cancelled = cancel != nullptr && cancel->cancelled();
+    summary.steals = shared.steals;
+    summary.heartbeats = shared.heartbeats.load(std::memory_order_relaxed);
     summary.partitions = std::move(shared.outcomes);
     double sum = 0.0;
     std::size_t busy = 0;
     for (const PartitionOutcome& out : summary.partitions) {
         summary.netlist_clones += out.netlist_clones;
-        summary.redispatches += out.attempts > 0 ? out.attempts - 1 : 0;
+        // Every dispatched segment (the original range plus one per steal)
+        // legitimately consumes one attempt; anything beyond that was a
+        // death/timeout recovery.
+        const unsigned expected =
+            out.member_count > 0 ? 1 + out.steals : 0;
+        summary.redispatches +=
+            out.attempts > expected ? out.attempts - expected : 0;
         if (out.member_count == 0)
             continue;
         ++busy;

@@ -26,6 +26,14 @@
 /// Cancellation fans out as `{"cmd":"cancel"}` to every live peer;
 /// everything already evaluated still streams out in ascending order
 /// (gaps allowed), exactly like SweepService cancellation.
+///
+/// Straggler recovery (FanoutOptions::steal_threshold): a partition
+/// thread that finishes early steals the top half of the slowest
+/// still-running range onto a fresh transport. The victim's range end
+/// shrinks under the driver lock; the victim stops at the first result
+/// at-or-past its new end, so every member is delivered exactly once and
+/// the merged stream stays bit-identical — stealing changes who computes
+/// a member, never what it computes.
 
 #include <cstdint>
 #include <functional>
@@ -56,9 +64,17 @@ struct FanoutOptions {
     double read_timeout_seconds = 0.0;
     /// Deadline for a fresh peer's ready banner.
     double handshake_timeout_seconds = 30.0;
-    /// Dispatch attempts per partition (first dispatch included) before
-    /// the whole run fails.
+    /// Dispatch attempts per dispatched range (first dispatch included)
+    /// before the whole run fails. A stolen tail is its own range with
+    /// its own attempt budget.
     unsigned max_attempts = 3;
+    /// Work-stealing straggler recovery: a partition thread that finishes
+    /// its own range looks for the slowest still-running range and, when
+    /// its unreceived tail has at least this many members, takes the top
+    /// half onto a fresh transport (the victim's range shrinks; the
+    /// contiguous-prefix invariant keeps the split exact, so the merged
+    /// stream is unchanged). 0 = stealing disabled (the default).
+    std::size_t steal_threshold = 0;
     /// After the merge, re-run the whole universe through one in-process
     /// SweepService and gate on exact per-member identity with the merged
     /// stream (the fan-out analogue of sweep_server's verify_serial).
@@ -87,6 +103,7 @@ struct PartitionOutcome {
     unsigned attempts = 0; ///< transports consumed (attempts - 1 re-dispatches)
     double seconds = 0.0;  ///< wall-clock incl. re-dispatch
     std::uint64_t netlist_clones = 0; ///< summed over this partition's attempts
+    unsigned steals = 0; ///< times an idle thread stole this partition's tail
     bool cancelled = false;
 };
 
@@ -97,6 +114,11 @@ struct FanoutSummary {
     double seconds = 0.0;
     std::uint64_t netlist_clones = 0;
     unsigned redispatches = 0; ///< worker deaths / timeouts recovered from
+    unsigned steals = 0; ///< straggler tails moved to idle threads
+    std::size_t heartbeats = 0; ///< v3 liveness events seen across peers
+    /// Configuration smells that did not stop the run — e.g.
+    /// read_timeout_seconds == 0 (a wedged worker would hang forever).
+    std::vector<std::string> warnings;
     std::size_t samples_per_period = 0; ///< from the peers' ready banners
     /// Straggler stats over non-empty partitions' wall-clocks.
     double partition_seconds_min = 0.0;
@@ -138,7 +160,11 @@ public:
 private:
     struct Shared;
 
-    void partition_main(Shared& shared, std::size_t partition);
+    /// Serves shared.segments[first_segment], then (steal_threshold > 0)
+    /// keeps stealing straggler tails until nothing is worth taking.
+    void partition_main(Shared& shared, std::size_t first_segment);
+    /// One dispatch/stream/re-dispatch lifecycle for one segment.
+    void serve_segment(Shared& shared, std::size_t segment_index);
 
     TransportFactory factory_;
     FanoutOptions options_;

@@ -1,0 +1,419 @@
+#include "server/tcp_transport.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "server/fd_io.h"
+#include "server/json.h"
+#include "server/sweep_service.h"
+
+namespace xysig::server {
+
+namespace {
+
+[[nodiscard]] std::string errno_message(const char* what) {
+    return std::string("tcp: ") + what + " failed: " + std::strerror(errno);
+}
+
+/// getaddrinfo wrapper with RAII release; throws Error on resolver failure.
+class AddrInfo {
+public:
+    AddrInfo(const std::string& host, unsigned short port, bool passive) {
+        struct addrinfo hints {};
+        hints.ai_family = AF_UNSPEC;
+        hints.ai_socktype = SOCK_STREAM;
+        hints.ai_flags = AI_NUMERICSERV | (passive ? AI_PASSIVE : 0);
+        const std::string service = std::to_string(port);
+        const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                                     service.c_str(), &hints, &list_);
+        if (rc != 0)
+            throw Error("tcp: cannot resolve " + host + ":" + service + ": " +
+                        ::gai_strerror(rc));
+    }
+    ~AddrInfo() {
+        if (list_ != nullptr)
+            ::freeaddrinfo(list_);
+    }
+    AddrInfo(const AddrInfo&) = delete;
+    AddrInfo& operator=(const AddrInfo&) = delete;
+
+    [[nodiscard]] const struct addrinfo* begin() const noexcept {
+        return list_;
+    }
+
+private:
+    struct addrinfo* list_ = nullptr;
+};
+
+void set_nodelay(int fd) {
+    // Every protocol line is a small write that the peer acts on
+    // immediately (job submit, cancel, heartbeat); Nagle would batch them
+    // behind unacked data and inflate exactly the latencies the
+    // inactivity timeout measures.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+[[nodiscard]] double monotonic_seconds() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+// --------------------------------------------------------------- TcpTransport
+
+TcpTransport::TcpTransport(std::string host, unsigned short port,
+                           TcpTransportOptions options)
+    : host_(std::move(host)), port_(port) {
+    detail::ignore_sigpipe_once();
+    connect(options);
+    try {
+        if (options.handshake_ready_banner)
+            handshake(options);
+    } catch (...) {
+        shutdown();
+        throw;
+    }
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+void TcpTransport::connect(const TcpTransportOptions& options) {
+    const double deadline =
+        monotonic_seconds() + options.connect_timeout_seconds;
+    std::string last_error = "no connect attempt made";
+    double backoff = options.initial_backoff_seconds;
+
+    const unsigned max_attempts =
+        options.max_connect_attempts == 0 ? 1 : options.max_connect_attempts;
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        connect_attempts_ = attempt;
+        if (attempt > 1) {
+            // Exponential backoff between attempts, clipped to both the
+            // per-step cap and the remaining overall budget.
+            double sleep_for = backoff;
+            backoff = std::min(backoff * 2.0, options.max_backoff_seconds);
+            const double remaining = deadline - monotonic_seconds();
+            if (remaining <= 0.0)
+                break;
+            sleep_for = std::min(sleep_for, remaining);
+            ::usleep(static_cast<useconds_t>(sleep_for * 1e6));
+        }
+
+        try {
+            const AddrInfo addrs(host_, port_, /*passive=*/false);
+            for (const struct addrinfo* ai = addrs.begin(); ai != nullptr;
+                 ai = ai->ai_next) {
+                const int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                                        ai->ai_protocol);
+                if (fd < 0) {
+                    last_error = errno_message("socket");
+                    continue;
+                }
+                if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+                    set_nodelay(fd);
+                    fd_ = fd;
+                    return;
+                }
+                last_error = errno_message("connect");
+                ::close(fd);
+            }
+        } catch (const Error& e) {
+            last_error = e.what(); // resolver failure; retried like refused
+        }
+        if (monotonic_seconds() >= deadline)
+            break;
+    }
+    throw Error("tcp: cannot connect to " + host_ + ":" +
+                std::to_string(port_) + " after " +
+                std::to_string(connect_attempts_) + " attempt(s): " +
+                last_error);
+}
+
+void TcpTransport::handshake(const TcpTransportOptions& options) {
+    // Read until the ready banner arrives, then put it BACK at the front
+    // of the buffer: FanoutDriver (and any pipe-path consumer) does its
+    // own handshake on the first line, and this transport must be a
+    // drop-in for ProcessTransport. Pre-banner heartbeats are dropped —
+    // they carry no state — but anything else unexpected is an error.
+    const double deadline =
+        monotonic_seconds() + options.handshake_timeout_seconds;
+    for (int skipped = 0; skipped < 16;) {
+        const double remaining = deadline - monotonic_seconds();
+        if (remaining <= 0.0)
+            throw Error("tcp: handshake with " + describe() +
+                        " timed out waiting for ready banner");
+        std::string line;
+        const ReadStatus status = read_line(line, remaining);
+        if (status == ReadStatus::timeout)
+            continue;
+        if (status == ReadStatus::closed)
+            throw Error("tcp: peer " + describe() +
+                        " closed the connection before the ready banner");
+
+        JsonValue v;
+        try {
+            v = JsonValue::parse(line);
+        } catch (const std::exception& e) {
+            throw Error("tcp: malformed pre-ready line from " + describe() +
+                        ": " + e.what());
+        }
+        const std::string event = v.string_or("event", "");
+        if (event == "heartbeat" || event == "listening") {
+            ++skipped;
+            continue;
+        }
+        if (event != "ready")
+            throw Error("tcp: expected ready banner from " + describe() +
+                        ", got event \"" + event + "\"");
+
+        const double version = v.number_or("version", 1.0);
+        if (version > static_cast<double>(kProtocolVersion) ||
+            version < 1.0) {
+            throw Error("tcp: peer " + describe() + " speaks protocol version " +
+                        std::to_string(static_cast<long long>(version)) +
+                        "; this build supports <= " +
+                        std::to_string(kProtocolVersion));
+        }
+        buffer_.insert(0, line + "\n"); // re-deliver on the first read_line
+        return;
+    }
+    throw Error("tcp: peer " + describe() +
+                " flooded the handshake with non-ready events");
+}
+
+bool TcpTransport::send_line(const std::string& line) {
+    if (fd_ < 0)
+        return false;
+    return detail::fd_write_line(fd_, line);
+}
+
+Transport::ReadStatus TcpTransport::read_line(std::string& out,
+                                              double timeout_seconds) {
+    return detail::fd_read_line(fd_, buffer_, out, timeout_seconds);
+}
+
+void TcpTransport::shutdown() {
+    if (fd_ >= 0) {
+        ::shutdown(fd_, SHUT_RDWR);
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::string TcpTransport::describe() const {
+    return "tcp[" + host_ + ":" + std::to_string(port_) +
+           (fd_ >= 0 ? "" : ", closed") + "]";
+}
+
+// ---------------------------------------------------------------- TcpListener
+
+struct TcpListener::Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+};
+
+TcpListener::TcpListener(Options options) : options_(std::move(options)) {
+    detail::ignore_sigpipe_once();
+
+    const AddrInfo addrs(options_.bind_address, options_.port,
+                         /*passive=*/true);
+    std::string last_error = "no usable address";
+    for (const struct addrinfo* ai = addrs.begin();
+         ai != nullptr && listen_fd_ < 0; ai = ai->ai_next) {
+        const int fd =
+            ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            last_error = errno_message("socket");
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+            ::listen(fd, 64) != 0) {
+            last_error = errno_message("bind/listen");
+            ::close(fd);
+            continue;
+        }
+        listen_fd_ = fd;
+    }
+    if (listen_fd_ < 0)
+        throw Error("tcp: cannot listen on " + options_.bind_address + ":" +
+                    std::to_string(options_.port) + ": " + last_error);
+
+    // Resolve the ephemeral port before anyone asks for it.
+    struct sockaddr_storage addr {};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                      &len) != 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw Error(errno_message("getsockname"));
+    }
+    if (addr.ss_family == AF_INET)
+        port_ = ntohs(reinterpret_cast<struct sockaddr_in*>(&addr)->sin_port);
+    else if (addr.ss_family == AF_INET6)
+        port_ =
+            ntohs(reinterpret_cast<struct sockaddr_in6*>(&addr)->sin6_port);
+
+    if (options_.share_service) {
+        SweepServiceOptions sopts;
+        sopts.workers = options_.workers;
+        sopts.shard_size = options_.shard_size;
+        shared_service_ = std::make_shared<SweepService>(
+            make_paper_pipeline(options_.samples_per_period), sopts);
+    }
+}
+
+TcpListener::~TcpListener() { stop(); }
+
+void TcpListener::start() {
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void TcpListener::run() { accept_loop(); }
+
+void TcpListener::accept_loop() {
+    while (!stopping_.load(std::memory_order_acquire)) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // listener closed (stop()) or hard error
+        }
+        if (stopping_.load(std::memory_order_acquire)) {
+            ::close(fd);
+            break;
+        }
+        set_nodelay(fd);
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        Connection* raw = conn.get();
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        reap_finished_connections_locked();
+        conn->thread = std::thread([this, raw] { serve_connection(*raw); });
+        connections_.push_back(std::move(conn));
+    }
+}
+
+void TcpListener::serve_connection(Connection& conn) {
+    try {
+        // One service per connection (unless shared): a fan-out driver
+        // opening N connections to one host gets N independent worker
+        // pools, mirroring the N-child process topology.
+        std::shared_ptr<SweepService> service = shared_service_;
+        if (service == nullptr) {
+            SweepServiceOptions sopts;
+            sopts.workers = options_.workers;
+            sopts.shard_size = options_.shard_size;
+            service = std::make_shared<SweepService>(
+                make_paper_pipeline(options_.samples_per_period), sopts);
+        }
+
+        const int fd = conn.fd;
+        ServerSession session(
+            *service,
+            [fd](const std::string& line) {
+                // A dead peer surfaces as a failed write; the reader loop
+                // below notices the close and tears the session down.
+                detail::fd_write_line(fd, line);
+            },
+            options_.session);
+
+        if (options_.ready_version_override != 0) {
+            // Hand-rolled banner with a spoofed version (test hook): the
+            // client's handshake must reject it before any job flows.
+            JsonValue::Object o;
+            o.emplace("event", std::string("ready"));
+            o.emplace("version", options_.ready_version_override);
+            o.emplace("samples_per_period", options_.samples_per_period);
+            detail::fd_write_line(fd, JsonValue(o).dump());
+        } else {
+            session.emit_ready(options_.samples_per_period);
+        }
+
+        std::string buffer;
+        std::string line;
+        while (!stopping_.load(std::memory_order_acquire)) {
+            // Finite poll slices so stop() is honoured even on an idle
+            // connection that never sends another byte.
+            const Transport::ReadStatus status =
+                detail::fd_read_line(fd, buffer, line, 0.25);
+            if (status == Transport::ReadStatus::timeout)
+                continue;
+            if (status == Transport::ReadStatus::closed)
+                break;
+            if (!session.handle_line(line))
+                break; // quit (drained inside handle_line)
+        }
+        session.cancel(""); // stop() path: abandon in-flight work promptly
+    } catch (const std::exception&) {
+        // Per-connection failures (service construction, OOM) must not
+        // take down the accept loop; the peer just sees its socket close.
+    }
+    // Send FIN but do NOT close: stop() may be poking this fd concurrently
+    // to unblock us, so the close (which would free the fd number for
+    // reuse) happens in exactly one place — after this thread is joined.
+    ::shutdown(conn.fd, SHUT_RDWR);
+    conn.finished.store(true, std::memory_order_release);
+}
+
+void TcpListener::reap_finished_connections_locked() {
+    for (auto it = connections_.begin(); it != connections_.end();) {
+        if ((*it)->finished.load(std::memory_order_acquire)) {
+            if ((*it)->thread.joinable())
+                (*it)->thread.join();
+            if ((*it)->fd >= 0)
+                ::close((*it)->fd);
+            it = connections_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void TcpListener::stop() {
+    if (stopping_.exchange(true, std::memory_order_acq_rel))
+        return;
+    if (listen_fd_ >= 0) {
+        // shutdown() unblocks a thread parked in accept(); close alone is
+        // not guaranteed to on all kernels.
+        ::shutdown(listen_fd_, SHUT_RDWR);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+
+    std::vector<std::unique_ptr<Connection>> conns;
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        conns.swap(connections_);
+    }
+    for (auto& conn : conns) {
+        if (conn->fd >= 0)
+            ::shutdown(conn->fd, SHUT_RDWR); // unblock its reader poll
+        if (conn->thread.joinable())
+            conn->thread.join();
+        if (conn->fd >= 0)
+            ::close(conn->fd);
+    }
+}
+
+} // namespace xysig::server

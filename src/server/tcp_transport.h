@@ -1,0 +1,168 @@
+#ifndef XYSIG_SERVER_TCP_TRANSPORT_H
+#define XYSIG_SERVER_TCP_TRANSPORT_H
+
+/// \file tcp_transport.h
+/// Socket transport for the sweep fabric: the piece that lets
+/// `FanoutDriver` spread partitions across hosts instead of across child
+/// processes.
+///
+///  * TcpTransport — one NDJSON peer connection to a listening
+///    `sweep_server --listen` (or in-process TcpListener). Connects with
+///    bounded exponential-backoff retry (a worker that is still booting,
+///    or a connection broken mid-job, is retried rather than failed on
+///    the first ECONNREFUSED), then performs the protocol handshake on
+///    the ready banner: the peer's `version` must be <= this build's
+///    kProtocolVersion or the connection is rejected up front. The banner
+///    itself is buffered and re-delivered by the first read_line(), so
+///    the driver's own handshake logic is byte-for-byte the pipe path's.
+///    Line framing is shared with ProcessTransport (fd_io.h) — one
+///    '\n'-terminated JSON object per line, short writes and EINTR looped.
+///
+///  * TcpListener — the accept loop behind `sweep_server --listen`: binds
+///    a port (0 = ephemeral; port() reports the bound one), accepts
+///    connections, and serves each with its own ServerSession — by
+///    default over its own SweepService (own worker pool, so N fan-out
+///    partitions connecting to one host actually run concurrently), or
+///    over one shared service (Options::share_service) when the host's
+///    core budget must be pinned. Usable in-process (tests, bench) and
+///    from the sweep_server binary; `run()` serves on the calling thread,
+///    `start()`/`stop()` manage a background accept thread.
+///
+/// Thread-safety: TcpTransport follows the Transport contract (one
+/// coordinator thread). TcpListener::start/stop may be called from one
+/// controlling thread; each connection is served by its own thread and
+/// every session's sink is internally serialised.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/transport.h"
+#include "server/wire.h"
+
+namespace xysig::server {
+
+class SweepService;
+
+struct TcpTransportOptions {
+    /// Connection attempts before giving up (first attempt included).
+    unsigned max_connect_attempts = 5;
+    /// Backoff before retry k is initial * 2^(k-1), capped at max.
+    double initial_backoff_seconds = 0.05;
+    double max_backoff_seconds = 1.0;
+    /// Total wall-clock budget across all connect attempts and backoffs.
+    double connect_timeout_seconds = 10.0;
+    /// Wait for the peer's ready banner and reject a peer whose protocol
+    /// version is newer than this build (the banner is re-delivered by
+    /// the first read_line, so the driver still sees it).
+    bool handshake_ready_banner = true;
+    double handshake_timeout_seconds = 10.0;
+};
+
+/// One NDJSON connection to a listening sweep server. The constructor
+/// connects (with retry/backoff) and handshakes; it throws Error when the
+/// peer cannot be reached within the budget or speaks an incompatible
+/// protocol version — FanoutDriver treats a throwing factory as a failed
+/// dispatch attempt.
+class TcpTransport final : public Transport {
+public:
+    TcpTransport(std::string host, unsigned short port,
+                 TcpTransportOptions options = {});
+    ~TcpTransport() override;
+
+    TcpTransport(const TcpTransport&) = delete;
+    TcpTransport& operator=(const TcpTransport&) = delete;
+
+    bool send_line(const std::string& line) override;
+    ReadStatus read_line(std::string& out, double timeout_seconds) override;
+    void shutdown() override;
+    [[nodiscard]] std::string describe() const override;
+
+    /// Connect attempts the constructor consumed (>= 1; exposed so tests
+    /// can pin the backoff-retry path).
+    [[nodiscard]] unsigned connect_attempts() const noexcept {
+        return connect_attempts_;
+    }
+
+private:
+    void connect(const TcpTransportOptions& options);
+    void handshake(const TcpTransportOptions& options);
+
+    std::string host_;
+    unsigned short port_ = 0;
+    int fd_ = -1;
+    std::string buffer_; ///< partial-line carry between reads
+    unsigned connect_attempts_ = 0;
+};
+
+/// Accept loop serving ServerSessions over TCP. One listener per
+/// process/port; one session (and by default one SweepService) per
+/// accepted connection.
+class TcpListener {
+public:
+    struct Options {
+        std::string bind_address = "0.0.0.0";
+        unsigned short port = 0; ///< 0 = ephemeral; see port()
+        /// Per-connection service configuration (as sweep_server's flags).
+        unsigned workers = 0;
+        std::size_t shard_size = 64;
+        std::size_t samples_per_period = 512;
+        SessionOptions session; ///< queue/cache/heartbeat knobs per session
+        /// Serve every connection from ONE SweepService (jobs from
+        /// concurrent connections serialise on its worker pool) instead of
+        /// one service per connection.
+        bool share_service = false;
+        /// Test hook: advertise this protocol version in the ready banner
+        /// instead of the real one (0 = real), so handshake rejection of
+        /// newer-than-supported peers is testable against a live socket.
+        int ready_version_override = 0;
+    };
+
+    explicit TcpListener(Options options); ///< binds + listens; throws Error
+    ~TcpListener();                        ///< stop()
+
+    TcpListener(const TcpListener&) = delete;
+    TcpListener& operator=(const TcpListener&) = delete;
+
+    /// The bound port (resolves ephemeral port 0).
+    [[nodiscard]] unsigned short port() const noexcept { return port_; }
+
+    /// Accept-and-serve on a background thread / on the calling thread.
+    void start();
+    void run();
+
+    /// Stops accepting, tears down live connections, joins every thread.
+    /// Idempotent; unblocks a concurrent run().
+    void stop();
+
+    /// Connections accepted over the listener's lifetime.
+    [[nodiscard]] std::size_t connections_accepted() const noexcept {
+        return connections_accepted_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct Connection;
+
+    void accept_loop();
+    void serve_connection(Connection& conn);
+    void reap_finished_connections_locked();
+
+    Options options_;
+    int listen_fd_ = -1;
+    unsigned short port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::size_t> connections_accepted_{0};
+    std::thread accept_thread_;
+    std::shared_ptr<SweepService> shared_service_; ///< when share_service
+
+    std::mutex connections_mutex_;
+    std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+} // namespace xysig::server
+
+#endif // XYSIG_SERVER_TCP_TRANSPORT_H

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "common/contracts.h"
+#include "server/fd_io.h"
 #include "server/wire.h"
 
 namespace xysig::server {
@@ -29,10 +30,7 @@ namespace {
 ProcessTransport::ProcessTransport(std::vector<std::string> argv)
     : argv_(std::move(argv)) {
     XYSIG_EXPECTS(!argv_.empty());
-    // A worker dying between our poll and our write must surface as
-    // send_line() == false, not kill the coordinator with SIGPIPE.
-    static std::once_flag sigpipe_once;
-    std::call_once(sigpipe_once, [] { ::signal(SIGPIPE, SIG_IGN); });
+    detail::ignore_sigpipe_once();
 
     // O_CLOEXEC on every pipe end: without it each child would inherit the
     // pipes of every OTHER live transport, and closing a worker's stdin
@@ -82,69 +80,17 @@ ProcessTransport::ProcessTransport(std::vector<std::string> argv)
 ProcessTransport::~ProcessTransport() { shutdown(); }
 
 bool ProcessTransport::send_line(const std::string& line) {
+    // fd_write_all loops over short writes and EINTR — a partial write()
+    // on a full pipe must never be treated as success (the child would
+    // see a truncated line mid-JSON and the driver would kill it).
     if (stdin_fd_ < 0)
         return false;
-    std::string framed = line;
-    framed.push_back('\n');
-    std::size_t written = 0;
-    while (written < framed.size()) {
-        const ssize_t n = ::write(stdin_fd_, framed.data() + written,
-                                  framed.size() - written);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false; // EPIPE et al: the child is gone
-        }
-        written += static_cast<std::size_t>(n);
-    }
-    return true;
+    return detail::fd_write_line(stdin_fd_, line);
 }
 
 Transport::ReadStatus ProcessTransport::read_line(std::string& out,
                                                   double timeout_seconds) {
-    while (true) {
-        const std::size_t pos = buffer_.find('\n');
-        if (pos != std::string::npos) {
-            out = buffer_.substr(0, pos);
-            buffer_.erase(0, pos + 1);
-            return ReadStatus::line;
-        }
-        if (stdout_fd_ < 0)
-            return ReadStatus::closed;
-
-        struct pollfd pfd {};
-        pfd.fd = stdout_fd_;
-        pfd.events = POLLIN;
-        const int timeout_ms =
-            timeout_seconds <= 0.0
-                ? -1
-                : static_cast<int>(timeout_seconds * 1000.0) + 1;
-        const int polled = ::poll(&pfd, 1, timeout_ms);
-        if (polled == 0)
-            return ReadStatus::timeout;
-        if (polled < 0) {
-            if (errno == EINTR)
-                continue;
-            return ReadStatus::closed;
-        }
-
-        char chunk[4096];
-        const ssize_t n = ::read(stdout_fd_, chunk, sizeof(chunk));
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return ReadStatus::closed;
-        }
-        if (n == 0) { // EOF; flush a trailing unterminated line if any
-            if (!buffer_.empty()) {
-                out = std::move(buffer_);
-                buffer_.clear();
-                return ReadStatus::line;
-            }
-            return ReadStatus::closed;
-        }
-        buffer_.append(chunk, static_cast<std::size_t>(n));
-    }
+    return detail::fd_read_line(stdout_fd_, buffer_, out, timeout_seconds);
 }
 
 void ProcessTransport::shutdown() {

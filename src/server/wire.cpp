@@ -1,7 +1,9 @@
 #include "server/wire.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <thread>
 #include <utility>
@@ -341,6 +343,19 @@ void check_event(const JsonValue& v) {
     } else if (event == "error") {
         check_fields(v, "error event",
                      {id_opt, {"message", FieldKind::string, true}});
+    } else if (event == "heartbeat") {
+        // Version-3 liveness beacon.
+        check_fields(v, "heartbeat event", {{"seq", FieldKind::number, true}});
+    } else if (event == "pong") {
+        // Version-3 reply to {"cmd":"ping"}.
+        check_fields(v, "pong event", {id_opt});
+    } else if (event == "listening") {
+        // Version-3 control line announcing a TCP accept loop's bound port
+        // (emitted on sweep_server's stdout in --listen mode, not on the
+        // per-connection session streams).
+        check_fields(v, "listening event",
+                     {{"port", FieldKind::number, true},
+                      {"address", FieldKind::string, false}});
     } else {
         throw InvalidInput("wire: unknown event '" + event + "'");
     }
@@ -348,7 +363,7 @@ void check_event(const JsonValue& v) {
 
 void check_command(const JsonValue& v) {
     const std::string cmd = v.at("cmd").as_string();
-    if (cmd != "stats" && cmd != "quit" && cmd != "cancel")
+    if (cmd != "stats" && cmd != "quit" && cmd != "cancel" && cmd != "ping")
         throw InvalidInput("wire: unknown cmd '" + cmd + "'");
     check_fields(v, "'" + cmd + "' command", {{"id", FieldKind::string, false}});
 }
@@ -393,10 +408,41 @@ ServerSession::ServerSession(SweepService& service, LineSink sink,
     sched.cache_capacity = options.cache_capacity;
     sched.prefetch_goldens = options.prefetch_goldens;
     scheduler_ = std::make_unique<JobScheduler>(service_, sched);
+    if (options.heartbeat_seconds > 0.0) {
+        // Liveness beacon (protocol v3): one line every interval, whether
+        // or not a job is draining — between result lines it is the only
+        // proof a slow worker is alive, and emit() serialises it against
+        // the emitter threads so it never splices into another line.
+        heartbeat_thread_ = std::thread([this,
+                                         interval = options.heartbeat_seconds] {
+            std::uint64_t seq = 0;
+            std::unique_lock<std::mutex> lock(heartbeat_mutex_);
+            while (!heartbeat_cv_.wait_for(
+                lock, std::chrono::duration<double>(interval),
+                [this] { return heartbeat_stop_; })) {
+                lock.unlock();
+                JsonValue::Object o;
+                o.emplace("event", "heartbeat");
+                o.emplace("seq", static_cast<std::size_t>(++seq));
+                emit(o);
+                lock.lock();
+            }
+        });
+    }
 }
 
 ServerSession::~ServerSession() {
-    // Tear down the scheduler FIRST: it cancels queued + running jobs and
+    // Stop the heartbeat first so no beacon fires into a sink that is
+    // being torn down behind it.
+    if (heartbeat_thread_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+            heartbeat_stop_ = true;
+        }
+        heartbeat_cv_.notify_all();
+        heartbeat_thread_.join();
+    }
+    // Tear down the scheduler next: it cancels queued + running jobs and
     // closes every record, so the emitters below wind down promptly
     // instead of draining the whole backlog.
     scheduler_.reset();
@@ -487,6 +533,17 @@ bool ServerSession::handle_line(const std::string& line) {
             }
             if (cmd == "cancel") {
                 cancel(id);
+                return true;
+            }
+            if (cmd == "ping") {
+                // v3 liveness probe: answered immediately on the reader
+                // thread (handle_line never blocks on jobs since v2), so a
+                // pong round-trip bounds the peer's request-loop latency.
+                JsonValue::Object o;
+                o.emplace("event", "pong");
+                if (!id.empty())
+                    o.emplace("id", id);
+                emit(o);
                 return true;
             }
             throw InvalidInput("wire: unknown cmd '" + cmd + "'");

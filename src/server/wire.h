@@ -24,21 +24,32 @@
 /// above kProtocolVersion is rejected with an error event. Both sides
 /// must ignore unknown fields, so minor additions never break old peers.
 ///
-/// Version 2 (this build): the session schedules jobs asynchronously
-/// through server::JobScheduler — a job line is ACCEPTED (acknowledged
-/// with a `queued` event) instead of run inline, multiple jobs interleave
-/// on one connection, requests may carry `priority`/`client`, `job_done`
-/// reports `cached`/`queue_seconds`, and `{"cmd":"cancel"}` with an id
-/// also cancels still-queued jobs. Every version-1 request line is a
-/// valid version-2 request line.
+/// Version 2: the session schedules jobs asynchronously through
+/// server::JobScheduler — a job line is ACCEPTED (acknowledged with a
+/// `queued` event) instead of run inline, multiple jobs interleave on one
+/// connection, requests may carry `priority`/`client`, `job_done` reports
+/// `cached`/`queue_seconds`, and `{"cmd":"cancel"}` with an id also
+/// cancels still-queued jobs. Every version-1 request line is a valid
+/// version-2 request line.
+///
+/// Version 3 (this build): liveness. The session can emit a periodic
+/// `heartbeat` event (SessionOptions::heartbeat_seconds) so a coordinator
+/// can keep a tight inactivity timeout that kills genuinely dead peers
+/// without shooting slow-but-alive ones, and answers `{"cmd":"ping"}`
+/// with a `pong` event. A `listening` control event announces a TCP
+/// accept loop's bound port. Purely additive: consumers MUST ignore
+/// event kinds they do not know (tolerant-reader rule), so every
+/// version-2 reader consumes a version-3 stream correctly.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "server/json.h"
@@ -50,7 +61,7 @@ class JobScheduler;
 class JobHandle;
 
 /// Protocol version this build speaks (echoed on ready/job_start events).
-inline constexpr int kProtocolVersion = 2;
+inline constexpr int kProtocolVersion = 3;
 
 /// The pipeline every wire peer runs: the paper's Table-I monitor bank
 /// over the paper stimulus. Fan-out bit-identity relies on coordinator
@@ -134,6 +145,11 @@ struct SessionOptions {
     std::size_t max_pending = 1024; ///< queued-job bound (submit backpressure)
     std::size_t cache_capacity = 64; ///< whole-job cache entries; 0 = off
     bool prefetch_goldens = true;
+    /// Emit a `heartbeat` event every this-many seconds (0 = off). The
+    /// liveness signal for coordinators with inactivity timeouts: a busy
+    /// worker whose results are slow still proves it is alive between
+    /// result lines (protocol v3).
+    double heartbeat_seconds = 0.0;
 };
 
 /// Runs wire requests against a SweepService through a JobScheduler and
@@ -198,6 +214,13 @@ private:
     std::mutex sink_mutex_; ///< serialises whole emitted lines
     std::atomic<bool> all_verified_{true};
     std::unique_ptr<JobScheduler> scheduler_;
+
+    // Heartbeat thread (protocol v3 liveness; only when
+    // SessionOptions::heartbeat_seconds > 0).
+    std::thread heartbeat_thread_;
+    std::mutex heartbeat_mutex_;
+    std::condition_variable heartbeat_cv_;
+    bool heartbeat_stop_ = false;
 
     std::mutex emitters_mutex_;
     std::vector<std::unique_ptr<Emitter>> emitters_;

@@ -8,6 +8,7 @@
 
 #include "server/fanout.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstddef>
 #include <limits>
@@ -19,7 +20,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
 #include "common/strings.h"
+#include "server/chaos.h"
 #include "server/transport.h"
 #include "server/wire.h"
 
@@ -360,6 +363,129 @@ TEST(LoopbackTransport, EmittedEventStreamPassesProtocolCheck) {
     EXPECT_TRUE(saw_verify);
     EXPECT_TRUE(saw_stats);
     EXPECT_TRUE(saw_error);
+}
+
+TEST(FanoutDriver, RejectsMalformedPartitionBoundaries) {
+    // Hand-rolled partition_starts must fail loudly at run() with a
+    // message naming the violated rule — not silently drop or duplicate
+    // members. (Repeated starts are NOT an error: they are the documented
+    // way to spell an empty partition, covered above.)
+    const std::string job = R"({"job":"deviations","deviations":[-10,-5,0,5,10]})";
+    const auto run_with = [&](std::vector<std::size_t> starts) {
+        FanoutOptions opts;
+        opts.partition_starts = std::move(starts);
+        FanoutDriver driver(loopback_factory(), opts);
+        (void)driver.run(job, [](const FanoutRecord&) {});
+    };
+
+    const auto expect_message = [&](std::vector<std::size_t> starts,
+                                    const std::string& needle) {
+        try {
+            run_with(std::move(starts));
+            FAIL() << "accepted malformed starts (wanted \"" << needle << "\")";
+        } catch (const InvalidInput& e) {
+            EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+                << e.what();
+        }
+    };
+    expect_message({1, 3}, "begin at 0");       // first range leaks members
+    expect_message({0, 9}, "past the universe"); // 5-member universe
+    expect_message({0, 4, 2}, "ascend");         // descending boundary
+}
+
+TEST(FanoutDriver, ZeroReadTimeoutSurfacesAFootgunWarning) {
+    // read_timeout_seconds == 0 disables the liveness watchdog entirely;
+    // the run still works, but the summary must carry a warning so CLIs
+    // and logs surface the hang-forever footgun.
+    const std::string job = R"({"job":"deviations","deviations":[-10,0,10]})";
+    const auto reference = single_process_reference(job);
+
+    FanoutOptions opts;
+    opts.partitions = 2;
+    opts.read_timeout_seconds = 0.0;
+    std::vector<FanoutRecord> merged;
+    const FanoutSummary no_watchdog =
+        FanoutDriver(loopback_factory(), opts)
+            .run(job, [&](const FanoutRecord& r) { merged.push_back(r); });
+    expect_merged_identical(merged, reference);
+    ASSERT_FALSE(no_watchdog.warnings.empty());
+    EXPECT_NE(no_watchdog.warnings.front().find("read_timeout"),
+              std::string::npos);
+
+    opts.read_timeout_seconds = 30.0;
+    merged.clear();
+    const FanoutSummary with_watchdog =
+        FanoutDriver(loopback_factory(), opts)
+            .run(job, [&](const FanoutRecord& r) { merged.push_back(r); });
+    expect_merged_identical(merged, reference);
+    EXPECT_TRUE(with_watchdog.warnings.empty());
+}
+
+TEST(FanoutDriver, WorkStealingRescuesAStragglerBitIdentically) {
+    // One partition's transport delays every delivered line; with
+    // steal_threshold set, the partition that finishes first must take
+    // over the top half of the straggler's remaining range (repeatedly,
+    // until the tail is small) — and the merged stream must not show a
+    // seam at any stolen boundary.
+    const std::string job =
+        R"({"job":"deviations","grid":{"from":-15,"to":15,"count":60},"shard_size":8})";
+    const auto reference = single_process_reference(job);
+    ASSERT_EQ(reference.size(), 60u);
+
+    ChaosPlan plan;
+    plan.mode = ChaosMode::delay;
+    plan.after_lines = 3;
+    plan.delay_seconds = 0.02; // ~0.6 s serial tail without stealing
+
+    FanoutOptions opts;
+    opts.partitions = 2;
+    opts.steal_threshold = 4;
+    opts.read_timeout_seconds = 5.0; // delayed lines still beat this
+    FanoutDriver driver(chaos_factory(loopback_factory(), plan), opts);
+
+    std::vector<FanoutRecord> merged;
+    const FanoutSummary summary =
+        driver.run(job, [&](const FanoutRecord& r) { merged.push_back(r); });
+
+    expect_merged_identical(merged, reference);
+    EXPECT_GE(summary.steals, 1u);
+    EXPECT_EQ(summary.redispatches, 0u); // nobody died, nobody was shot
+    unsigned per_partition = 0;
+    for (const PartitionOutcome& p : summary.partitions)
+        per_partition += p.steals;
+    EXPECT_EQ(per_partition, summary.steals); // victim accounting adds up
+}
+
+TEST(FanoutDriver, ThrowingTransportFactoryCostsOneAttempt) {
+    // A factory that fails to produce a transport (spawn failure, connect
+    // refused) burns one dispatch attempt for that range and the driver
+    // retries — it must neither crash the partition thread nor retry
+    // for free forever.
+    const std::string job = R"({"job":"deviations","deviations":[-10,0,10,20]})";
+    const auto reference = single_process_reference(job);
+
+    auto calls = std::make_shared<std::atomic<unsigned>>(0);
+    auto base = loopback_factory();
+    FanoutDriver::TransportFactory flaky = [calls, base] {
+        if (calls->fetch_add(1) == 0)
+            throw std::runtime_error("simulated spawn failure");
+        return base();
+    };
+
+    FanoutOptions opts;
+    opts.partitions = 2;
+    opts.max_attempts = 3;
+    FanoutDriver driver(std::move(flaky), opts);
+    std::vector<FanoutRecord> merged;
+    const FanoutSummary summary =
+        driver.run(job, [&](const FanoutRecord& r) { merged.push_back(r); });
+
+    expect_merged_identical(merged, reference);
+    EXPECT_EQ(summary.redispatches, 1u); // exactly the one failed spawn
+    unsigned attempts = 0;
+    for (const PartitionOutcome& p : summary.partitions)
+        attempts += p.attempts;
+    EXPECT_EQ(attempts, 3u); // 2 partitions + 1 retry after the throw
 }
 
 } // namespace
