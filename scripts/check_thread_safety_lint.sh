@@ -1,0 +1,116 @@
+#!/usr/bin/env sh
+# Negative-compile check for the Clang thread-safety analysis: proves the
+# annotations in src/common/annotated_mutex.h actually produce -Werror
+# diagnostics, so the CI clang lane cannot pass with the analysis
+# silently inert (macro set gutted, -Werror=thread-safety dropped, or a
+# compiler that ignores the attributes).
+#
+#   good probe  — correctly locked code: MUST compile.
+#   bad probes  — a GUARDED_BY write without the lock, and a REQUIRES
+#                 call without the lock: each MUST fail with a
+#                 thread-safety diagnostic.
+#
+# Usage: scripts/check_thread_safety_lint.sh [clang++]
+# The compiler is $1, else $CLANGXX, else clang++ from PATH. Exits 77
+# (the ctest SKIP return code) when no clang is available — GCC expands
+# the annotations to nothing, so only clang can run this check.
+set -u
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+clangxx="${1:-${CLANGXX:-clang++}}"
+
+if ! command -v "$clangxx" >/dev/null 2>&1; then
+    echo "check_thread_safety_lint: no clang++ found ($clangxx) — skipping" >&2
+    exit 77
+fi
+if ! "$clangxx" --version 2>/dev/null | grep -qi clang; then
+    echo "check_thread_safety_lint: $clangxx is not clang — skipping" >&2
+    exit 77
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+compile() {
+    "$clangxx" -std=c++20 -fsyntax-only -Wthread-safety \
+        -Werror=thread-safety -I "$root/src" "$1" 2>"$tmp/diag.txt"
+}
+
+# --- good probe: the documented conventions, correctly followed --------
+cat >"$tmp/good.cpp" <<'EOF'
+#include "common/annotated_mutex.h"
+
+class Counter {
+public:
+    void bump() EXCLUDES(mutex_) {
+        xysig::MutexLock lock(mutex_);
+        bump_locked();
+    }
+    void wait_nonzero() EXCLUDES(mutex_) {
+        xysig::MutexLock lock(mutex_);
+        cv_.wait(lock, [this]() REQUIRES(mutex_) { return value_ != 0; });
+    }
+
+private:
+    void bump_locked() REQUIRES(mutex_) { ++value_; }
+
+    xysig::Mutex mutex_;
+    xysig::CondVar cv_;
+    int value_ GUARDED_BY(mutex_) = 0;
+};
+EOF
+if ! compile "$tmp/good.cpp"; then
+    echo "check_thread_safety_lint: GOOD probe failed to compile:" >&2
+    cat "$tmp/diag.txt" >&2
+    exit 1
+fi
+
+expect_thread_safety_failure() {
+    # $1 = probe path, $2 = label
+    if compile "$1"; then
+        echo "check_thread_safety_lint: BAD probe '$2' compiled — the" \
+            "thread-safety analysis is inert" >&2
+        exit 1
+    fi
+    if ! grep -q 'thread-safety' "$tmp/diag.txt"; then
+        echo "check_thread_safety_lint: BAD probe '$2' failed for the" \
+            "wrong reason (not a -Wthread-safety diagnostic):" >&2
+        cat "$tmp/diag.txt" >&2
+        exit 1
+    fi
+}
+
+# --- bad probe 1: GUARDED_BY field written without the lock ------------
+cat >"$tmp/bad_guarded.cpp" <<'EOF'
+#include "common/annotated_mutex.h"
+
+class Counter {
+public:
+    void bump() { ++value_; } // no lock: must not compile
+
+private:
+    xysig::Mutex mutex_;
+    int value_ GUARDED_BY(mutex_) = 0;
+};
+EOF
+expect_thread_safety_failure "$tmp/bad_guarded.cpp" "unlocked GUARDED_BY write"
+
+# --- bad probe 2: REQUIRES helper called without the lock --------------
+cat >"$tmp/bad_requires.cpp" <<'EOF'
+#include "common/annotated_mutex.h"
+
+class Counter {
+public:
+    void bump() { bump_locked(); } // no lock: must not compile
+
+private:
+    void bump_locked() REQUIRES(mutex_) { ++value_; }
+
+    xysig::Mutex mutex_;
+    int value_ GUARDED_BY(mutex_) = 0;
+};
+EOF
+expect_thread_safety_failure "$tmp/bad_requires.cpp" "REQUIRES call without lock"
+
+echo "check_thread_safety_lint: analysis live ($clangxx):" \
+    "good probe compiles, both bad probes rejected"

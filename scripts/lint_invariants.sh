@@ -1,0 +1,228 @@
+#!/usr/bin/env sh
+# Project invariant linter — greps the tree for constructions the
+# architecture forbids and fails loudly on any hit. Run by CI as a
+# blocking step and registered in ctest (`lint_invariants`). Usage:
+#
+#   scripts/lint_invariants.sh [repo-root]     # lint a tree (default: repo)
+#   scripts/lint_invariants.sh --self-test     # prove each rule still fires
+#
+# Rules (each one backs a contract in docs/ARCHITECTURE.md):
+#
+#   R1  no raw std synchronisation primitives outside
+#       src/common/annotated_mutex.h — every mutex/condvar goes through
+#       the Clang-thread-safety-annotated wrappers, or the CI clang
+#       lane's -Werror=thread-safety analysis silently loses coverage.
+#       (std::once_flag/std::call_once are allowed: they carry no
+#       locking discipline to annotate.)
+#
+#   R2  no rand()/srand() — all randomness goes through common/rng so
+#       seeded runs stay reproducible bit-for-bit.
+#
+#   R3  no silently-swallowed exceptions: a catch body must contain code
+#       or at least a comment saying why dropping the exception is
+#       correct. A bare `catch (...) {}` hides real failures.
+#
+#   R4  every bench/bench_*.cpp that exercises a parallel, sharded, or
+#       fanned-out path must carry a bit-identity gate (the string
+#       "bit-identical"/"bit_identical" marking the check that compares
+#       against the serial reference). Purely serial figure
+#       reproductions are allowlisted below.
+set -u
+
+self_test=0
+root=""
+for arg in "$@"; do
+    case "$arg" in
+    --self-test) self_test=1 ;;
+    *) root="$arg" ;;
+    esac
+done
+if [ -z "$root" ]; then
+    root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+fi
+
+# Benches with no parallel/sharded path: straight serial figure and
+# ablation reproductions, nothing to compare against a serial reference.
+BIT_IDENTITY_ALLOWLIST="bench_ablation_capture.cpp
+bench_ablation_linear_vs_nonlinear.cpp
+bench_fig1_lissajous.cpp
+bench_fig3_layout_area.cpp
+bench_fig6_zone_map.cpp
+bench_fig7_chronogram.cpp
+bench_fig8_ndf_sweep.cpp"
+
+failures=0
+
+fail() {
+    echo "lint_invariants: $1" >&2
+    failures=$((failures + 1))
+}
+
+# Every C++ source/header under the lintable trees (NUL-safe enough for
+# this repo: no spaces in tracked paths; enforced by the find itself).
+cxx_files() {
+    for d in src tests bench examples; do
+        [ -d "$root/$d" ] && find "$root/$d" -type f \
+            \( -name '*.cpp' -o -name '*.h' \)
+    done
+}
+
+run_lint() {
+    # R1: raw synchronisation primitives.
+    r1_pattern='std::(mutex|condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|shared_mutex|shared_lock|recursive_mutex|timed_mutex)[^[:alnum:]_]'
+    r1_hits=$(cxx_files | grep -v 'common/annotated_mutex\.h$' |
+        xargs -r grep -nE "$r1_pattern" /dev/null 2>/dev/null || true)
+    if [ -n "$r1_hits" ]; then
+        printf '%s\n' "$r1_hits" >&2
+        fail "raw std synchronisation primitive outside common/annotated_mutex.h — use xysig::Mutex/CondVar/MutexLock (R1)"
+    fi
+
+    # R2: libc rand()/srand().
+    r2_hits=$(cxx_files | xargs -r grep -nE \
+        '(^|[^[:alnum:]_:])s?rand[[:space:]]*\(' /dev/null 2>/dev/null || true)
+    if [ -n "$r2_hits" ]; then
+        printf '%s\n' "$r2_hits" >&2
+        fail "rand()/srand() call — all randomness goes through common/rng (R2)"
+    fi
+
+    # R3: catch blocks whose {...} body is pure whitespace (no code, no
+    # comment). awk joins the body across lines before testing it.
+    r3_hits=$(cxx_files | xargs -r awk '
+        /catch[[:space:]]*\(/ {
+            line = $0
+            # Only bodies opening on the catch line are considered; the
+            # project brace style guarantees that.
+            if (match(line, /catch[[:space:]]*\([^)]*\)[[:space:]]*\{/)) {
+                body = substr(line, RSTART + RLENGTH)
+                start = FNR
+                depth = 1
+                while (depth > 0) {
+                    n = length(body)
+                    for (i = 1; i <= n; ++i) {
+                        c = substr(body, i, 1)
+                        if (c == "{") depth++
+                        else if (c == "}") { depth--; if (depth == 0) break }
+                    }
+                    if (depth == 0) { body = substr(body, 1, i - 1); break }
+                    if ((getline nxt) <= 0) break
+                    body = body "\n" nxt
+                }
+                gsub(/[[:space:]\n]/, "", body)
+                if (body == "")
+                    printf "%s:%d: empty catch body\n", FILENAME, start
+            }
+        }' /dev/null 2>/dev/null || true)
+    if [ -n "$r3_hits" ]; then
+        printf '%s\n' "$r3_hits" >&2
+        fail "catch block silently swallows the exception — handle it or comment why dropping it is correct (R3)"
+    fi
+
+    # R4: bench bit-identity gates.
+    if [ -d "$root/bench" ]; then
+        for bench in "$root"/bench/bench_*.cpp; do
+            [ -e "$bench" ] || continue
+            base=$(basename "$bench")
+            if printf '%s\n' "$BIT_IDENTITY_ALLOWLIST" |
+                grep -qx "$base"; then
+                continue
+            fi
+            if ! grep -qiE 'bit[-_ ]identical' "$bench"; then
+                fail "$base has no bit-identity gate marker — compare against the serial reference or allowlist it with a reason (R4)"
+            fi
+        done
+    fi
+}
+
+run_self_test() {
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+
+    check_fires() {
+        # $1 = rule name; the staged tree in $tmp must FAIL the lint.
+        if "$0" "$tmp" >/dev/null 2>&1; then
+            echo "lint_invariants --self-test: rule $1 did NOT fire" >&2
+            exit 1
+        fi
+        echo "self-test: rule $1 fires"
+    }
+
+    stage() { # fresh minimal tree
+        rm -rf "$tmp/src" "$tmp/bench"
+        mkdir -p "$tmp/src" "$tmp/bench"
+    }
+
+    # R1: raw mutex.
+    stage
+    printf '#include <mutex>\nstd::mutex m;\n' >"$tmp/src/bad.cpp"
+    check_fires R1
+
+    # R1 must also catch the lock types, not just the mutex.
+    stage
+    printf 'void f() { std::lock_guard<std::mutex> g(m); }\n' \
+        >"$tmp/src/bad.cpp"
+    check_fires R1-lock_guard
+
+    # R2: libc rand.
+    stage
+    printf 'int noise() { return rand(); }\n' >"$tmp/src/bad.cpp"
+    check_fires R2
+
+    # R2: srand too.
+    stage
+    printf 'void seed() { srand(42); }\n' >"$tmp/src/bad.cpp"
+    check_fires R2-srand
+
+    # R3: empty catch body, single-line and multi-line forms.
+    stage
+    printf 'void f() { try { g(); } catch (...) {} }\n' >"$tmp/src/bad.cpp"
+    check_fires R3
+    stage
+    printf 'void f() {\n  try { g(); } catch (const E&) {\n\n  }\n}\n' \
+        >"$tmp/src/bad.cpp"
+    check_fires R3-multiline
+
+    # R4: bench without a bit-identity marker.
+    stage
+    printf 'int main() { return 0; }\n' >"$tmp/bench/bench_widget.cpp"
+    check_fires R4
+
+    # Clean tree passes: comment-only catch, annotated mutex, marked and
+    # allowlisted benches, identifiers merely ending in "rand".
+    stage
+    mkdir -p "$tmp/src/common"
+    printf 'namespace std { class mutex; }\n' \
+        >"$tmp/src/common/annotated_mutex.h" # R1 exempt by path
+    cat >"$tmp/src/good.cpp" <<'EOF'
+void f() {
+    try {
+        g();
+    } catch (...) {
+        // Teardown path: the peer is already being destroyed.
+    }
+    int strand(); // identifier merely ending in the banned name
+    (void)strand();
+}
+EOF
+    printf '// gate: results are bit-identical to serial\nint main(){}\n' \
+        >"$tmp/bench/bench_widget.cpp"
+    printf 'int main(){}\n' >"$tmp/bench/bench_fig1_lissajous.cpp"
+    if ! "$0" "$tmp" >/dev/null 2>&1; then
+        echo "lint_invariants --self-test: clean tree FAILED the lint" >&2
+        "$0" "$tmp" >&2 || true
+        exit 1
+    fi
+    echo "self-test: clean tree passes"
+    echo "lint_invariants --self-test: all rules verified"
+}
+
+if [ "$self_test" -eq 1 ]; then
+    run_self_test
+    exit 0
+fi
+
+run_lint
+if [ "$failures" -gt 0 ]; then
+    echo "lint_invariants: $failures rule violation(s)" >&2
+    exit 1
+fi
+echo "lint_invariants: clean"

@@ -1,0 +1,146 @@
+#pragma once
+// Clang thread-safety-annotated synchronisation primitives.
+//
+// Every mutex in the tree is one of these wrappers, never a raw
+// std::mutex / std::condition_variable (scripts/lint_invariants.sh
+// enforces this).  Under Clang the annotations turn the locking
+// discipline documented in docs/ARCHITECTURE.md into compile errors
+// (-Werror=thread-safety in the CI clang lane); under GCC they expand
+// to nothing and the wrappers are zero-cost pass-throughs, so the
+// tier-1 build is unaffected.
+//
+// The macro set below is the standard one from the Clang
+// thread-safety-analysis documentation.  Conventions used across the
+// tree:
+//   * shared fields:           T x GUARDED_BY(mutex_);
+//   * helpers expecting a held lock (the `*_locked` suffix):
+//                              void f() REQUIRES(mutex_);
+//   * public entry points that must NOT hold the lock:
+//                              void g() EXCLUDES(mutex_);
+//   * intentional unlocked fast-paths carry an explicit
+//     AssertHeld()/comment escape hatch at the access site, never a
+//     blanket NO_THREAD_SAFETY_ANALYSIS on the whole function.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#if defined(__clang__)
+#define XYSIG_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define XYSIG_THREAD_ANNOTATION__(x)  // no-op on GCC and others
+#endif
+
+#define CAPABILITY(x) XYSIG_THREAD_ANNOTATION__(capability(x))
+#define SCOPED_CAPABILITY XYSIG_THREAD_ANNOTATION__(scoped_lockable)
+#define GUARDED_BY(x) XYSIG_THREAD_ANNOTATION__(guarded_by(x))
+#define PT_GUARDED_BY(x) XYSIG_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) XYSIG_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) XYSIG_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) XYSIG_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  XYSIG_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) XYSIG_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  XYSIG_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) XYSIG_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  XYSIG_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  XYSIG_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) XYSIG_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) XYSIG_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) XYSIG_THREAD_ANNOTATION__(assert_capability(x))
+#define RETURN_CAPABILITY(x) XYSIG_THREAD_ANNOTATION__(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS XYSIG_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace xysig {
+
+class CondVar;
+class MutexLock;
+
+// Annotated std::mutex.  Prefer MutexLock over manual lock()/unlock().
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  // Documentation + analysis escape hatch for intentional
+  // lock-already-held access sites: tells the analysis (not the
+  // runtime — std::mutex cannot check ownership) that this thread
+  // holds the mutex here.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex m_;
+};
+
+// Scoped lock guard over Mutex, the annotated stand-in for both
+// std::lock_guard and std::unique_lock.  Lock()/Unlock() support the
+// unlock-work-relock pattern (e.g. emitting a line outside the lock
+// inside a CondVar wait loop); the destructor releases only if held.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : lock_(mutex.m_) {}
+  ~MutexLock() RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Lock() ACQUIRE() { lock_.lock(); }
+  void Unlock() RELEASE() { lock_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Annotated std::condition_variable.  Waits take the MutexLock guard;
+// from the analysis's point of view the lock is held across the wait,
+// which is exactly the contract predicate bodies rely on when they
+// read GUARDED_BY fields.  Predicate lambdas are analysed as separate
+// functions, so annotate them REQUIRES(the_mutex); the wait methods
+// themselves are the one sanctioned NO_THREAD_SAFETY_ANALYSIS site in
+// the tree — they invoke the predicate through the underlying
+// std::unique_lock, a mapping the analysis cannot see through.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Predicate>
+  void wait(MutexLock& lock, Predicate pred) NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(lock.lock_, std::move(pred));
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.lock_, dur);
+  }
+
+  template <class Rep, class Period, class Predicate>
+  bool wait_for(MutexLock& lock, const std::chrono::duration<Rep, Period>& dur,
+                Predicate pred) NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(lock.lock_, dur, std::move(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace xysig

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -31,11 +32,14 @@ unsigned default_thread_count() noexcept {
 bool in_parallel_region() noexcept { return t_in_parallel_region; }
 
 ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity)
-    : capacity_(queue_capacity) {
+    : thread_count_(threads == 0 ? default_thread_count() : threads),
+      capacity_(queue_capacity) {
     XYSIG_EXPECTS(queue_capacity >= 1);
-    const unsigned n = threads == 0 ? default_thread_count() : threads;
-    workers_.reserve(n);
-    for (unsigned i = 0; i < n; ++i)
+    // Workers start pulling on mutex_ immediately, so populate workers_
+    // under the lock like every other access to it.
+    MutexLock lock(mutex_);
+    workers_.reserve(thread_count_);
+    for (unsigned i = 0; i < thread_count_; ++i)
         workers_.emplace_back([this] { worker_loop(); });
 }
 
@@ -46,8 +50,10 @@ void ThreadPool::worker_loop() {
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock lock(mutex_);
-            cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            MutexLock lock(mutex_);
+            cv_task_.wait(lock, [this]() REQUIRES(mutex_) {
+                return stopping_ || !queue_.empty();
+            });
             if (queue_.empty())
                 return; // stopping_ and drained
             task = std::move(queue_.front());
@@ -57,12 +63,12 @@ void ThreadPool::worker_loop() {
         try {
             task();
         } catch (...) {
-            std::lock_guard lock(mutex_);
+            MutexLock lock(mutex_);
             if (!first_error_)
                 first_error_ = std::current_exception();
         }
         {
-            std::lock_guard lock(mutex_);
+            MutexLock lock(mutex_);
             if (--in_flight_ == 0)
                 cv_idle_.notify_all();
         }
@@ -72,9 +78,10 @@ void ThreadPool::worker_loop() {
 void ThreadPool::submit(std::function<void()> task) {
     XYSIG_EXPECTS(task != nullptr);
     {
-        std::unique_lock lock(mutex_);
-        cv_space_.wait(lock,
-                       [this] { return stopping_ || queue_.size() < capacity_; });
+        MutexLock lock(mutex_);
+        cv_space_.wait(lock, [this]() REQUIRES(mutex_) {
+            return stopping_ || queue_.size() < capacity_;
+        });
         if (stopping_)
             throw std::runtime_error("ThreadPool::submit after shutdown");
         queue_.push_back(std::move(task));
@@ -84,11 +91,11 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-    std::unique_lock lock(mutex_);
-    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mutex_);
+    cv_idle_.wait(lock, [this]() REQUIRES(mutex_) { return in_flight_ == 0; });
     if (first_error_) {
         std::exception_ptr err = std::exchange(first_error_, nullptr);
-        lock.unlock();
+        lock.Unlock();
         std::rethrow_exception(err);
     }
 }
@@ -99,7 +106,7 @@ void ThreadPool::shutdown() {
     // disjoint — possibly empty — set of threads.
     std::vector<std::thread> claimed;
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
         claimed.swap(workers_);
     }
@@ -145,10 +152,10 @@ void parallel_for(std::size_t begin, std::size_t end,
     struct Shared {
         std::atomic<std::size_t> next;
         std::atomic<bool> cancelled{false};
-        std::mutex mutex;
-        std::condition_variable done_cv;
-        std::size_t active = 0;
-        std::exception_ptr error;
+        Mutex mutex;
+        CondVar done_cv;
+        std::size_t active GUARDED_BY(mutex) = 0;
+        std::exception_ptr error GUARDED_BY(mutex);
     };
     auto shared = std::make_shared<Shared>();
     shared->next.store(begin, std::memory_order_relaxed);
@@ -166,7 +173,7 @@ void parallel_for(std::size_t begin, std::size_t end,
                 for (std::size_t k = i; k < stop; ++k)
                     body(k);
             } catch (...) {
-                std::lock_guard lock(shared->mutex);
+                MutexLock lock(shared->mutex);
                 if (!shared->error)
                     shared->error = std::current_exception();
                 shared->cancelled.store(true, std::memory_order_relaxed);
@@ -176,14 +183,14 @@ void parallel_for(std::size_t begin, std::size_t end,
     };
 
     {
-        std::lock_guard lock(shared->mutex);
+        MutexLock lock(shared->mutex);
         shared->active = workers - 1;
     }
     ThreadPool& pool = ThreadPool::shared();
     for (unsigned w = 0; w + 1 < workers; ++w) {
         pool.submit([shared, run_chunks] {
             run_chunks();
-            std::lock_guard lock(shared->mutex);
+            MutexLock lock(shared->mutex);
             if (--shared->active == 0)
                 shared->done_cv.notify_all();
         });
@@ -191,8 +198,10 @@ void parallel_for(std::size_t begin, std::size_t end,
 
     run_chunks(); // the caller is a worker too: progress without pool slots
 
-    std::unique_lock lock(shared->mutex);
-    shared->done_cv.wait(lock, [&] { return shared->active == 0; });
+    MutexLock lock(shared->mutex);
+    shared->done_cv.wait(lock, [&]() REQUIRES(shared->mutex) {
+        return shared->active == 0;
+    });
     if (shared->error)
         std::rethrow_exception(shared->error);
 }

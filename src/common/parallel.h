@@ -18,13 +18,14 @@
 /// to its own output slot and deriving randomness from pre-forked
 /// per-index streams (see mc::run_monte_carlo_parallel).
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotated_mutex.h"
 
 namespace xysig {
 
@@ -51,37 +52,40 @@ public:
 
     /// Enqueues a task; blocks while the queue is at capacity. Throws
     /// std::runtime_error if the pool has been shut down.
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task) EXCLUDES(mutex_);
 
     /// Blocks until every submitted task has finished; rethrows the first
     /// exception a task leaked since the previous wait (if any).
-    void wait_idle();
+    void wait_idle() EXCLUDES(mutex_);
 
     /// Drains outstanding tasks and joins the workers. Idempotent; submit()
     /// afterwards throws.
-    void shutdown();
+    void shutdown() EXCLUDES(mutex_);
 
-    [[nodiscard]] unsigned thread_count() const noexcept {
-        return static_cast<unsigned>(workers_.size());
-    }
+    /// The pool's worker count, fixed at construction. Deliberately an
+    /// immutable copy rather than workers_.size(): shutdown() swaps the
+    /// worker handles out under mutex_, so sizing off the vector would race
+    /// with (and change answer across) a concurrent shutdown.
+    [[nodiscard]] unsigned thread_count() const noexcept { return thread_count_; }
 
     /// Process-wide pool used by parallel_for. Created on first use with
     /// default_thread_count() workers; never destroyed before exit.
     [[nodiscard]] static ThreadPool& shared();
 
 private:
-    void worker_loop();
+    void worker_loop() EXCLUDES(mutex_);
 
-    std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    mutable std::mutex mutex_;
-    std::condition_variable cv_task_;  ///< signalled when work is available
-    std::condition_variable cv_space_; ///< signalled when queue space frees
-    std::condition_variable cv_idle_;  ///< signalled when in-flight hits zero
-    std::size_t capacity_;
-    std::size_t in_flight_ = 0; ///< queued + currently running tasks
-    std::exception_ptr first_error_;
-    bool stopping_ = false;
+    const unsigned thread_count_;
+    mutable Mutex mutex_;
+    std::vector<std::thread> workers_ GUARDED_BY(mutex_);
+    std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+    CondVar cv_task_;  ///< signalled when work is available
+    CondVar cv_space_; ///< signalled when queue space frees
+    CondVar cv_idle_;  ///< signalled when in-flight hits zero
+    const std::size_t capacity_;
+    std::size_t in_flight_ GUARDED_BY(mutex_) = 0; ///< queued + running tasks
+    std::exception_ptr first_error_ GUARDED_BY(mutex_);
+    bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 /// True while the current thread is executing inside a parallel_for body;

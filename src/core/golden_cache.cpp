@@ -13,7 +13,7 @@ std::shared_ptr<const capture::Chronogram> GoldenSignatureCache::find_or_compute
     const std::string& key,
     const std::function<capture::Chronogram()>& compute) {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto it = map_.find(key);
         if (it != map_.end()) {
             ++hits_;
@@ -22,7 +22,7 @@ std::shared_ptr<const capture::Chronogram> GoldenSignatureCache::find_or_compute
         }
     }
     auto computed = std::make_shared<const capture::Chronogram>(compute());
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = map_.find(key);
     if (it != map_.end()) {
         // Lost a benign race; the first insertion is authoritative.
@@ -47,38 +47,38 @@ void GoldenSignatureCache::evict_to_capacity_locked() {
 
 void GoldenSignatureCache::set_capacity(std::size_t capacity) {
     XYSIG_EXPECTS(capacity >= 1);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     capacity_ = capacity;
     evict_to_capacity_locked();
 }
 
 std::size_t GoldenSignatureCache::capacity() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return capacity_;
 }
 
 std::size_t GoldenSignatureCache::size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return map_.size();
 }
 
 std::size_t GoldenSignatureCache::hits() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return hits_;
 }
 
 std::size_t GoldenSignatureCache::misses() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return misses_;
 }
 
 std::size_t GoldenSignatureCache::evictions() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return evictions_;
 }
 
 void GoldenSignatureCache::clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     map_.clear();
     lru_.clear();
     hits_ = 0;

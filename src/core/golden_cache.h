@@ -24,11 +24,11 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "capture/chronogram.h"
+#include "common/annotated_mutex.h"
 
 namespace xysig::core {
 
@@ -78,15 +78,15 @@ private:
         std::list<std::pair<std::string,
                             std::shared_ptr<const capture::Chronogram>>>;
 
-    void evict_to_capacity_locked();
+    void evict_to_capacity_locked() REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    LruList lru_;
-    std::unordered_map<std::string, LruList::iterator> map_;
-    std::size_t capacity_ = kDefaultCapacity;
-    std::size_t hits_ = 0;
-    std::size_t misses_ = 0;
-    std::size_t evictions_ = 0;
+    mutable Mutex mutex_;
+    LruList lru_ GUARDED_BY(mutex_);
+    std::unordered_map<std::string, LruList::iterator> map_ GUARDED_BY(mutex_);
+    std::size_t capacity_ GUARDED_BY(mutex_) = kDefaultCapacity;
+    std::size_t hits_ GUARDED_BY(mutex_) = 0;
+    std::size_t misses_ GUARDED_BY(mutex_) = 0;
+    std::size_t evictions_ GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace xysig::core

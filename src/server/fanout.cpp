@@ -4,13 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <thread>
 
+#include "common/annotated_mutex.h"
 #include "common/contracts.h"
 #include "common/strings.h"
 #include "server/wire.h"
@@ -50,7 +49,7 @@ struct FanoutDriver::Shared {
                (cancel != nullptr && cancel->cancelled());
     }
 
-    std::mutex factory_mutex; ///< serialises TransportFactory invocations
+    Mutex factory_mutex; ///< serialises TransportFactory invocations
 
     /// One dispatchable member range. Initially one per partition; work
     /// stealing appends more (a stolen tail is a new segment attributed
@@ -64,20 +63,23 @@ struct FanoutDriver::Shared {
         bool running = false;      ///< a thread is (or will be) serving it
     };
 
-    std::mutex mutex; ///< guards everything below
-    std::condition_variable cv;
-    std::map<std::size_t, FanoutRecord> ready; ///< merged, not yet delivered
-    std::size_t active = 0; ///< partition threads still running
-    bool failed = false;
-    std::string failure;
-    std::size_t samples_per_period = 0; ///< from the first ready banner
-    std::vector<PartitionOutcome> outcomes;
-    std::deque<Segment> segments; ///< deque: steals append, references live
-    unsigned steals = 0;
+    Mutex mutex; ///< guards everything below
+    CondVar cv;
+    /// Merged, not yet delivered.
+    std::map<std::size_t, FanoutRecord> ready GUARDED_BY(mutex);
+    std::size_t active GUARDED_BY(mutex) = 0; ///< threads still running
+    bool failed GUARDED_BY(mutex) = false;
+    std::string failure GUARDED_BY(mutex);
+    /// From the first ready banner.
+    std::size_t samples_per_period GUARDED_BY(mutex) = 0;
+    std::vector<PartitionOutcome> outcomes GUARDED_BY(mutex);
+    /// deque: steals append, references live.
+    std::deque<Segment> segments GUARDED_BY(mutex);
+    unsigned steals GUARDED_BY(mutex) = 0;
 
-    void fail(const std::string& why) {
+    void fail(const std::string& why) EXCLUDES(mutex) {
         abort.store(true, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         if (!failed) {
             failed = true;
             failure = why;
@@ -88,7 +90,8 @@ struct FanoutDriver::Shared {
     /// Picks the slowest running range with a stealable tail, halves it,
     /// and appends the top half as a new running segment. Returns its
     /// index, or npos when nothing is worth stealing. Caller holds mutex.
-    [[nodiscard]] std::size_t try_steal_locked(std::size_t threshold) {
+    [[nodiscard]] std::size_t try_steal_locked(std::size_t threshold)
+        REQUIRES(mutex) {
         // A 1-member tail cannot be split so that both sides keep work.
         const std::size_t min_tail = std::max<std::size_t>(threshold, 2);
         std::size_t victim = npos;
@@ -134,7 +137,7 @@ void FanoutDriver::partition_main(Shared& shared, std::size_t first_segment) {
     std::size_t segment = first_segment;
     while (segment != Shared::npos) {
         serve_segment(shared, segment);
-        std::lock_guard<std::mutex> lock(shared.mutex);
+        MutexLock lock(shared.mutex);
         shared.segments[segment].running = false;
         segment = Shared::npos;
         if (options_.steal_threshold > 0 && !shared.stop_requested() &&
@@ -142,12 +145,14 @@ void FanoutDriver::partition_main(Shared& shared, std::size_t first_segment) {
             segment = shared.try_steal_locked(options_.steal_threshold);
     }
 
-    // Wall-clock attributed to the thread's home partition: with stealing
-    // on it includes time spent rescuing stragglers, which is exactly the
-    // idle time stealing reclaims.
-    shared.outcomes[first_segment].seconds = seconds_since(t0);
     {
-        std::lock_guard<std::mutex> lock(shared.mutex);
+        MutexLock lock(shared.mutex);
+        // Wall-clock attributed to the thread's home partition: with
+        // stealing on it includes time spent rescuing stragglers, which is
+        // exactly the idle time stealing reclaims. Written under the lock:
+        // run() reads outcomes while other partition threads are still
+        // live, so an unguarded write here would race the merge loop.
+        shared.outcomes[first_segment].seconds = seconds_since(t0);
         --shared.active;
     }
     shared.cv.notify_all();
@@ -158,20 +163,22 @@ void FanoutDriver::serve_segment(Shared& shared, std::size_t segment_index) {
     std::size_t next_needed = 0;
     std::size_t end = 0;
     {
-        std::lock_guard<std::mutex> lock(shared.mutex);
+        MutexLock lock(shared.mutex);
         const Shared::Segment& seg = shared.segments[segment_index];
         partition = seg.partition;
         next_needed = seg.next_needed;
         end = seg.end;
     }
-    PartitionOutcome& out = shared.outcomes[partition];
+    // No cached reference into shared.outcomes here: the accounting entry
+    // is shared with the merge loop and sibling threads, so every access
+    // goes through shared.outcomes[partition] under shared.mutex.
     unsigned attempts = 0; ///< this segment's own dispatch budget
     bool done = next_needed >= end; // a tail stolen down to nothing
 
     while (!done) {
         if (shared.stop_requested()) {
-            std::lock_guard<std::mutex> lock(shared.mutex);
-            out.cancelled = true;
+            MutexLock lock(shared.mutex);
+            shared.outcomes[partition].cancelled = true;
             break;
         }
         if (attempts >= options_.max_attempts) {
@@ -182,12 +189,12 @@ void FanoutDriver::serve_segment(Shared& shared, std::size_t segment_index) {
         }
         ++attempts;
         {
-            std::lock_guard<std::mutex> lock(shared.mutex);
-            ++out.attempts;
+            MutexLock lock(shared.mutex);
+            ++shared.outcomes[partition].attempts;
         }
         std::unique_ptr<Transport> transport;
         try {
-            std::lock_guard<std::mutex> lock(shared.factory_mutex);
+            MutexLock lock(shared.factory_mutex);
             transport = factory_();
         } catch (const std::exception&) {
             // A factory that cannot produce a peer right now (connect
@@ -219,7 +226,7 @@ void FanoutDriver::serve_segment(Shared& shared, std::size_t segment_index) {
                             size_field(v, "samples_per_period");
                         bool mismatch = false;
                         {
-                            std::lock_guard<std::mutex> lock(shared.mutex);
+                            MutexLock lock(shared.mutex);
                             if (shared.samples_per_period == 0)
                                 shared.samples_per_period = spp;
                             else
@@ -253,7 +260,7 @@ void FanoutDriver::serve_segment(Shared& shared, std::size_t segment_index) {
         // compute them twice.
         std::size_t dispatch_end = 0;
         {
-            std::lock_guard<std::mutex> lock(shared.mutex);
+            MutexLock lock(shared.mutex);
             const Shared::Segment& seg = shared.segments[segment_index];
             next_needed = seg.next_needed;
             dispatch_end = seg.end;
@@ -334,7 +341,7 @@ void FanoutDriver::serve_segment(Shared& shared, std::size_t segment_index) {
                         record.signature = event.at("signature").as_string();
                     bool range_complete = false;
                     {
-                        std::lock_guard<std::mutex> lock(shared.mutex);
+                        MutexLock lock(shared.mutex);
                         Shared::Segment& seg = shared.segments[segment_index];
                         if (record.member >= seg.end) {
                             // The tail from seg.end on was stolen while the
@@ -347,7 +354,7 @@ void FanoutDriver::serve_segment(Shared& shared, std::size_t segment_index) {
                         } else {
                             next_needed = record.member + 1;
                             seg.next_needed = next_needed;
-                            ++out.members_done;
+                            ++shared.outcomes[partition].members_done;
                             shared.ready.emplace(record.member,
                                                  std::move(record));
                         }
@@ -368,14 +375,14 @@ void FanoutDriver::serve_segment(Shared& shared, std::size_t segment_index) {
                     const bool job_cancelled = event.at("cancelled").as_bool();
                     std::size_t current_end = 0;
                     {
-                        std::lock_guard<std::mutex> lock(shared.mutex);
-                        out.netlist_clones +=
+                        MutexLock lock(shared.mutex);
+                        shared.outcomes[partition].netlist_clones +=
                             size_field(event, "netlist_clones");
                         current_end = shared.segments[segment_index].end;
                     }
                     if (job_cancelled) {
-                        std::lock_guard<std::mutex> lock(shared.mutex);
-                        out.cancelled = true;
+                        MutexLock lock(shared.mutex);
+                        shared.outcomes[partition].cancelled = true;
                         done = true;
                     } else if (next_needed >= current_end) {
                         // >= not ==: a steal may have shrunk the end below
@@ -411,8 +418,8 @@ void FanoutDriver::serve_segment(Shared& shared, std::size_t segment_index) {
         if (!done && peer_dead) {
             if (shared.stop_requested()) {
                 // Don't re-dispatch work the caller no longer wants.
-                std::lock_guard<std::mutex> lock(shared.mutex);
-                out.cancelled = true;
+                MutexLock lock(shared.mutex);
+                shared.outcomes[partition].cancelled = true;
                 done = true;
             }
             // else: loop re-dispatches [next_needed, end) — the received
@@ -471,20 +478,30 @@ FanoutSummary FanoutDriver::run(const JsonValue& job,
     shared.base_job = job.as_object();
     shared.base_id = whole.id.empty() ? "fanout" : whole.id;
     shared.cancel = cancel;
-    shared.outcomes.resize(starts.size());
-    for (std::size_t i = 0; i < starts.size(); ++i) {
-        PartitionOutcome& out = shared.outcomes[i];
-        out.partition = i;
-        out.first_member = starts[i];
-        out.member_count =
-            (i + 1 < starts.size() ? starts[i + 1] : total) - starts[i];
+    // Copied out of the guarded outcomes so the thread-spawn loop below
+    // can size itself without the lock while partition threads run.
+    std::vector<std::size_t> member_counts(starts.size(), 0);
+    {
+        MutexLock lock(shared.mutex);
+        shared.outcomes.resize(starts.size());
+        for (std::size_t i = 0; i < starts.size(); ++i) {
+            PartitionOutcome& out = shared.outcomes[i];
+            out.partition = i;
+            out.first_member = starts[i];
+            out.member_count =
+                (i + 1 < starts.size() ? starts[i + 1] : total) - starts[i];
+            member_counts[i] = out.member_count;
 
-        Shared::Segment seg;
-        seg.next_needed = out.first_member;
-        seg.end = out.first_member + out.member_count;
-        seg.partition = i;
-        seg.running = out.member_count > 0;
-        shared.segments.push_back(seg);
+            Shared::Segment seg;
+            seg.next_needed = out.first_member;
+            seg.end = out.first_member + out.member_count;
+            seg.partition = i;
+            seg.running = out.member_count > 0;
+            shared.segments.push_back(seg);
+        }
+        for (const std::size_t count : member_counts)
+            if (count > 0)
+                ++shared.active;
     }
 
     FanoutSummary summary;
@@ -498,14 +515,8 @@ FanoutSummary FanoutDriver::run(const JsonValue& job,
 
     const auto t0 = Clock::now();
     std::vector<std::thread> threads;
-    {
-        std::lock_guard<std::mutex> lock(shared.mutex);
-        for (const PartitionOutcome& out : shared.outcomes)
-            if (out.member_count > 0)
-                ++shared.active;
-    }
-    for (std::size_t i = 0; i < shared.outcomes.size(); ++i)
-        if (shared.outcomes[i].member_count > 0)
+    for (std::size_t i = 0; i < member_counts.size(); ++i)
+        if (member_counts[i] > 0)
             threads.emplace_back(
                 [this, &shared, i] { partition_main(shared, i); });
 
@@ -521,8 +532,8 @@ FanoutSummary FanoutDriver::run(const JsonValue& job,
         bool finished = false;
         while (!finished) {
             {
-                std::unique_lock<std::mutex> lock(shared.mutex);
-                shared.cv.wait(lock, [&] {
+                MutexLock lock(shared.mutex);
+                shared.cv.wait(lock, [&]() REQUIRES(shared.mutex) {
                     return shared.active == 0 ||
                            (!shared.failed && !shared.ready.empty() &&
                             shared.ready.begin()->first == next_expected);
@@ -553,8 +564,10 @@ FanoutSummary FanoutDriver::run(const JsonValue& job,
     } catch (...) {
         shared.abort.store(true, std::memory_order_relaxed);
         {
-            std::unique_lock<std::mutex> lock(shared.mutex);
-            shared.cv.wait(lock, [&] { return shared.active == 0; });
+            MutexLock lock(shared.mutex);
+            shared.cv.wait(lock, [&]() REQUIRES(shared.mutex) {
+                return shared.active == 0;
+            });
         }
         for (std::thread& t : threads)
             t.join();
@@ -564,18 +577,21 @@ FanoutSummary FanoutDriver::run(const JsonValue& job,
         t.join();
 
     {
-        std::lock_guard<std::mutex> lock(shared.mutex);
+        // Every partition thread is joined, but steals/outcomes are still
+        // guarded state — read them under the same lock that wrote them
+        // (also the memory fence the join already provides, made explicit).
+        MutexLock lock(shared.mutex);
         if (shared.failed)
             throw Error(shared.failure);
         summary.samples_per_period = shared.samples_per_period;
+        summary.steals = shared.steals;
+        summary.partitions = std::move(shared.outcomes);
     }
 
     summary.seconds = seconds_since(t0);
     summary.members_done = delivered;
     summary.cancelled = cancel != nullptr && cancel->cancelled();
-    summary.steals = shared.steals;
     summary.heartbeats = shared.heartbeats.load(std::memory_order_relaxed);
-    summary.partitions = std::move(shared.outcomes);
     double sum = 0.0;
     std::size_t busy = 0;
     for (const PartitionOutcome& out : summary.partitions) {

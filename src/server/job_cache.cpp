@@ -32,7 +32,7 @@ JobResultCache::JobResultCache(std::size_t capacity)
 std::optional<JobResultCache::Hit>
 JobResultCache::lookup(const std::string& key, std::size_t first,
                        std::size_t count) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto [lo, hi] = map_.equal_range(key);
     auto best = map_.end();
     for (auto it = lo; it != hi; ++it) {
@@ -55,7 +55,7 @@ void JobResultCache::insert(const std::string& key, std::size_t first,
                             std::vector<SweepResult> results) {
     XYSIG_EXPECTS(!key.empty());
     const std::size_t count = results.size();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto [lo, hi] = map_.equal_range(key);
     std::vector<LruList::iterator> contained;
     for (auto it = lo; it != hi; ++it) {
@@ -95,38 +95,38 @@ void JobResultCache::evict_to_capacity_locked() {
 }
 
 void JobResultCache::set_capacity(std::size_t capacity) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     capacity_ = std::max<std::size_t>(1, capacity);
     evict_to_capacity_locked();
 }
 
 std::size_t JobResultCache::capacity() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return capacity_;
 }
 
 std::size_t JobResultCache::size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return lru_.size();
 }
 
 std::size_t JobResultCache::hits() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return hits_;
 }
 
 std::size_t JobResultCache::misses() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return misses_;
 }
 
 std::size_t JobResultCache::evictions() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return evictions_;
 }
 
 void JobResultCache::clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     lru_.clear();
     map_.clear();
     hits_ = misses_ = evictions_ = 0;

@@ -24,12 +24,12 @@
 #include <cstddef>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "core/pipeline.h"
 #include "server/sweep_service.h"
 
@@ -98,16 +98,16 @@ private:
     /// hold several disjoint ranges.
     using LruList = std::list<Entry>;
 
-    void evict_to_capacity_locked();
-    void erase_locked(LruList::iterator it);
+    void evict_to_capacity_locked() REQUIRES(mutex_);
+    void erase_locked(LruList::iterator it) REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    LruList lru_;
-    std::unordered_multimap<std::string, LruList::iterator> map_;
-    std::size_t capacity_;
-    std::size_t hits_ = 0;
-    std::size_t misses_ = 0;
-    std::size_t evictions_ = 0;
+    mutable Mutex mutex_;
+    LruList lru_ GUARDED_BY(mutex_);
+    std::unordered_multimap<std::string, LruList::iterator> map_ GUARDED_BY(mutex_);
+    std::size_t capacity_ GUARDED_BY(mutex_);
+    std::size_t hits_ GUARDED_BY(mutex_) = 0;
+    std::size_t misses_ GUARDED_BY(mutex_) = 0;
+    std::size_t evictions_ GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace xysig::server

@@ -31,21 +31,21 @@ struct JobHandle::Record {
     std::uint64_t submit_seq = 0;
     Clock::time_point submitted_at;
 
-    std::mutex m;
-    std::condition_variable cv;
-    JobOutcome out;
-    std::deque<SweepResult> results;
-    bool closed = false;    ///< no further results; `out` is final
-    bool accounted = false; ///< terminal state counted into Stats once
-    SweepCancelToken token;
+    Mutex m;
+    CondVar cv;
+    JobOutcome out GUARDED_BY(m);
+    std::deque<SweepResult> results GUARDED_BY(m);
+    bool closed GUARDED_BY(m) = false;    ///< no further results; final `out`
+    bool accounted GUARDED_BY(m) = false; ///< terminal state counted once
+    SweepCancelToken token; ///< internally atomic; poked from any thread
 };
 
 // ------------------------------------------------------------------ handle
 
 bool JobHandle::next(SweepResult& out) {
     Record& r = *record_;
-    std::unique_lock<std::mutex> lock(r.m);
-    r.cv.wait(lock, [&] { return !r.results.empty() || r.closed; });
+    MutexLock lock(r.m);
+    r.cv.wait(lock, [&]() REQUIRES(r.m) { return !r.results.empty() || r.closed; });
     if (r.results.empty())
         return false;
     out = std::move(r.results.front());
@@ -55,13 +55,14 @@ bool JobHandle::next(SweepResult& out) {
 
 void JobHandle::wait_until_started() {
     Record& r = *record_;
-    std::unique_lock<std::mutex> lock(r.m);
-    r.cv.wait(lock, [&] { return r.out.state != JobState::queued; });
+    MutexLock lock(r.m);
+    r.cv.wait(lock,
+              [&]() REQUIRES(r.m) { return r.out.state != JobState::queued; });
 }
 
 void JobHandle::cancel() {
     Record& r = *record_;
-    std::lock_guard<std::mutex> lock(r.m);
+    MutexLock lock(r.m);
     if (r.out.state == JobState::queued) {
         // Finalise in place; the dispatcher skips (and accounts) the
         // record when it eventually pops it.
@@ -75,20 +76,20 @@ void JobHandle::cancel() {
 
 JobOutcome JobHandle::outcome() const {
     Record& r = *record_;
-    std::lock_guard<std::mutex> lock(r.m);
+    MutexLock lock(r.m);
     XYSIG_EXPECTS(r.closed);
     return r.out;
 }
 
 bool JobHandle::from_cache() const {
     Record& r = *record_;
-    std::lock_guard<std::mutex> lock(r.m);
+    MutexLock lock(r.m);
     return r.out.from_cache;
 }
 
 bool JobHandle::cancelled_before_start() const {
     Record& r = *record_;
-    std::lock_guard<std::mutex> lock(r.m);
+    MutexLock lock(r.m);
     return r.closed && r.out.state == JobState::cancelled &&
            r.out.run_sequence == 0 && !r.out.from_cache && r.results.empty();
 }
@@ -117,12 +118,12 @@ JobScheduler::JobScheduler(SweepService& service, Options options)
 
 JobScheduler::~JobScheduler() {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
         for (auto& [client, queue] : queues_) {
             for (const RecordPtr& rec : queue) {
                 {
-                    std::lock_guard<std::mutex> rlock(rec->m);
+                    MutexLock rlock(rec->m);
                     if (rec->out.state == JobState::queued) {
                         rec->out.state = JobState::cancelled;
                         rec->closed = true;
@@ -168,25 +169,26 @@ JobHandle JobScheduler::submit(WireJob wire, SubmitOptions opts) {
         if (auto hit = cache_.lookup(rec->cache_key, rec->wire.member_offset,
                                      rec->wire.job.size())) {
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 ++stats_.submitted;
             }
             serve_from_cache(rec, *hit);
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 account_terminal_locked(rec);
             }
             return JobHandle(rec);
         }
     }
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    space_cv_.wait(lock,
-                   [&] { return stopping_ || pending_ < options_.max_pending; });
+    MutexLock lock(mutex_);
+    space_cv_.wait(lock, [&]() REQUIRES(mutex_) {
+        return stopping_ || pending_ < options_.max_pending;
+    });
     ++stats_.submitted;
     if (stopping_) {
         {
-            std::lock_guard<std::mutex> rlock(rec->m);
+            MutexLock rlock(rec->m);
             rec->out.state = JobState::cancelled;
             rec->closed = true;
             rec->cv.notify_all();
@@ -213,7 +215,7 @@ JobHandle JobScheduler::submit(WireJob wire, SubmitOptions opts) {
 }
 
 void JobScheduler::cancel(const std::string& wire_id) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!wire_id.empty()) {
         for (auto it = queues_.begin(); it != queues_.end();) {
             std::deque<RecordPtr>& queue = it->second;
@@ -224,7 +226,7 @@ void JobScheduler::cancel(const std::string& wire_id) {
                 }
                 const RecordPtr rec = *qi;
                 {
-                    std::lock_guard<std::mutex> rlock(rec->m);
+                    MutexLock rlock(rec->m);
                     if (rec->out.state == JobState::queued) {
                         rec->out.state = JobState::cancelled;
                         rec->closed = true;
@@ -245,20 +247,20 @@ void JobScheduler::cancel(const std::string& wire_id) {
 }
 
 void JobScheduler::set_paused(bool paused) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     paused_ = paused;
     dispatch_cv_.notify_all();
 }
 
 JobScheduler::Stats JobScheduler::stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Stats s = stats_;
     s.queue_depth = pending_;
     return s;
 }
 
 void JobScheduler::account_terminal_locked(const RecordPtr& rec) {
-    std::lock_guard<std::mutex> rlock(rec->m);
+    MutexLock rlock(rec->m);
     if (rec->accounted || !rec->closed)
         return;
     rec->accounted = true;
@@ -327,9 +329,10 @@ void JobScheduler::dispatcher_main() {
     while (true) {
         RecordPtr rec;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            dispatch_cv_.wait(
-                lock, [&] { return stopping_ || (!paused_ && pending_ > 0); });
+            MutexLock lock(mutex_);
+            dispatch_cv_.wait(lock, [&]() REQUIRES(mutex_) {
+                return stopping_ || (!paused_ && pending_ > 0);
+            });
             if (stopping_)
                 return;
             rec = pick_next_locked();
@@ -337,7 +340,7 @@ void JobScheduler::dispatcher_main() {
         }
         execute(rec);
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             running_ = nullptr;
             account_terminal_locked(rec);
         }
@@ -346,7 +349,7 @@ void JobScheduler::dispatcher_main() {
 
 void JobScheduler::execute(const RecordPtr& rec) {
     {
-        std::lock_guard<std::mutex> lock(rec->m);
+        MutexLock lock(rec->m);
         if (rec->closed)
             return; // cancelled through its handle while queued
     }
@@ -360,11 +363,20 @@ void JobScheduler::execute(const RecordPtr& rec) {
         }
     }
 
+    // run_counter_ is mutex_ state; fetch the sequence number BEFORE taking
+    // rec->m. Taking mutex_ while holding rec->m would invert the one
+    // sanctioned lock order (mutex_ -> rec->m, see account_terminal_locked)
+    // and could deadlock against the dispatcher/cancel paths.
+    std::uint64_t run_seq = 0;
     {
-        std::lock_guard<std::mutex> lock(rec->m);
+        MutexLock lock(mutex_);
+        run_seq = run_counter_++;
+    }
+    {
+        MutexLock lock(rec->m);
         rec->out.state = JobState::running;
         rec->out.queue_seconds = seconds_since(rec->submitted_at);
-        rec->out.run_sequence = run_counter_++;
+        rec->out.run_sequence = run_seq;
         rec->cv.notify_all();
     }
 
@@ -389,7 +401,7 @@ void JobScheduler::execute(const RecordPtr& rec) {
                 if (rec->wire.verify_serial)
                     streamed.push_back(r.ndf);
                 {
-                    std::lock_guard<std::mutex> lock(rec->m);
+                    MutexLock lock(rec->m);
                     rec->results.push_back(r);
                     rec->cv.notify_all();
                 }
@@ -427,7 +439,7 @@ void JobScheduler::execute(const RecordPtr& rec) {
             cache_.insert(rec->cache_key, rec->wire.member_offset,
                           std::move(collected));
 
-        std::lock_guard<std::mutex> lock(rec->m);
+        MutexLock lock(rec->m);
         rec->out.summary = summary;
         rec->out.verify_ran = verify_ran;
         rec->out.verified = verified;
@@ -438,7 +450,7 @@ void JobScheduler::execute(const RecordPtr& rec) {
         rec->closed = true;
         rec->cv.notify_all();
     } catch (const std::exception& e) {
-        std::lock_guard<std::mutex> lock(rec->m);
+        MutexLock lock(rec->m);
         rec->out.error = e.what();
         rec->out.state = JobState::failed;
         rec->closed = true;
@@ -450,7 +462,7 @@ void JobScheduler::serve_from_cache(const RecordPtr& rec,
                                     const JobResultCache::Hit& hit) {
     const auto t0 = Clock::now();
     {
-        std::lock_guard<std::mutex> lock(rec->m);
+        MutexLock lock(rec->m);
         if (rec->closed)
             return; // cancelled in the submit/dispatch window
         rec->out.state = JobState::running;
@@ -464,7 +476,7 @@ void JobScheduler::serve_from_cache(const RecordPtr& rec,
     JobSummary summary;
     summary.members_total = count;
     summary.members_done = count;
-    std::lock_guard<std::mutex> lock(rec->m);
+    MutexLock lock(rec->m);
     for (std::size_t i = 0; i < count; ++i) {
         SweepResult local = all[base + i]; // stored under global ids
         local.member_id = i;
@@ -481,9 +493,10 @@ void JobScheduler::prefetch_main() {
     while (true) {
         RecordPtr rec;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            dispatch_cv_.wait(
-                lock, [&] { return stopping_ || !prefetch_queue_.empty(); });
+            MutexLock lock(mutex_);
+            dispatch_cv_.wait(lock, [&]() REQUIRES(mutex_) {
+                return stopping_ || !prefetch_queue_.empty();
+            });
             if (stopping_)
                 return;
             rec = prefetch_queue_.front();
@@ -497,7 +510,7 @@ void JobScheduler::prefetch_main() {
         try {
             prefetch_pipeline_->set_golden(
                 filter::BehaviouralCut(core::paper_biquad()));
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             ++stats_.goldens_prefetched;
         } catch (const std::exception&) {
             // A golden the prefetcher cannot compute is the dispatcher's

@@ -31,18 +31,17 @@
 /// Thread-safety: submit()/cancel()/stats() are concurrently callable from
 /// any thread; each JobHandle is drained by one consumer thread at a time.
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "server/job_cache.h"
 #include "server/sweep_service.h"
 #include "server/wire.h"
@@ -187,16 +186,16 @@ public:
 private:
     using RecordPtr = std::shared_ptr<JobHandle::Record>;
 
-    void dispatcher_main();
-    void prefetch_main();
-    void execute(const RecordPtr& rec);
+    void dispatcher_main() EXCLUDES(mutex_);
+    void prefetch_main() EXCLUDES(mutex_);
+    void execute(const RecordPtr& rec) EXCLUDES(mutex_);
     void serve_from_cache(const RecordPtr& rec,
                           const JobResultCache::Hit& hit);
     /// Counts a closed record's terminal state into stats_ exactly once.
     /// Caller holds mutex_; takes the record's own lock (mutex_ -> rec->m
     /// is the one sanctioned lock order).
-    void account_terminal_locked(const RecordPtr& rec);
-    [[nodiscard]] RecordPtr pick_next_locked();
+    void account_terminal_locked(const RecordPtr& rec) REQUIRES(mutex_);
+    [[nodiscard]] RecordPtr pick_next_locked() REQUIRES(mutex_);
     [[nodiscard]] std::string job_cache_key(const WireJob& wire) const;
 
     SweepService& service_;
@@ -207,21 +206,21 @@ private:
     std::optional<core::SignaturePipeline> prefetch_pipeline_;
     std::string pipeline_fp_; ///< empty = job caching off for this pipeline
 
-    mutable std::mutex mutex_; ///< queue + stats state below
-    std::condition_variable dispatch_cv_;
-    std::condition_variable space_cv_;
+    mutable Mutex mutex_; ///< queue + stats state below
+    CondVar dispatch_cv_;
+    CondVar space_cv_;
     /// Per-client queues, each kept sorted (priority desc, submit order).
-    std::map<std::string, std::deque<RecordPtr>> queues_;
-    std::map<std::string, std::uint64_t> last_served_;
-    std::deque<RecordPtr> prefetch_queue_;
-    RecordPtr running_;
-    std::size_t pending_ = 0;
-    bool paused_ = false;
-    bool stopping_ = false;
-    std::uint64_t next_submit_seq_ = 1;
-    std::uint64_t serve_counter_ = 1;
-    std::uint64_t run_counter_ = 1;
-    Stats stats_;
+    std::map<std::string, std::deque<RecordPtr>> queues_ GUARDED_BY(mutex_);
+    std::map<std::string, std::uint64_t> last_served_ GUARDED_BY(mutex_);
+    std::deque<RecordPtr> prefetch_queue_ GUARDED_BY(mutex_);
+    RecordPtr running_ GUARDED_BY(mutex_);
+    std::size_t pending_ GUARDED_BY(mutex_) = 0;
+    bool paused_ GUARDED_BY(mutex_) = false;
+    bool stopping_ GUARDED_BY(mutex_) = false;
+    std::uint64_t next_submit_seq_ GUARDED_BY(mutex_) = 1;
+    std::uint64_t serve_counter_ GUARDED_BY(mutex_) = 1;
+    std::uint64_t run_counter_ GUARDED_BY(mutex_) = 1;
+    Stats stats_ GUARDED_BY(mutex_);
 
     std::thread prefetch_thread_;
     std::thread dispatcher_thread_;

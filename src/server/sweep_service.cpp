@@ -106,12 +106,13 @@ struct SweepService::JobContext {
     std::atomic<std::uint64_t> clones{0};
     std::atomic<bool> failed{false};
 
-    std::mutex mutex; ///< guards ready / timings / active_workers / first_error
-    std::condition_variable cv; ///< signalled on new results & worker exits
-    std::map<std::size_t, SweepResult> ready; ///< completed, not yet delivered
-    std::vector<ShardTiming> timings;
-    std::size_t active_workers = 0;
-    std::exception_ptr first_error;
+    Mutex mutex;
+    CondVar cv; ///< signalled on new results & worker exits
+    std::map<std::size_t, SweepResult> ready GUARDED_BY(mutex); ///< completed,
+                                                  ///< not yet delivered
+    std::vector<ShardTiming> timings GUARDED_BY(mutex);
+    std::size_t active_workers GUARDED_BY(mutex) = 0;
+    std::exception_ptr first_error GUARDED_BY(mutex);
 
     [[nodiscard]] bool aborted() const noexcept {
         return failed.load(std::memory_order_relaxed) ||
@@ -181,7 +182,7 @@ SweepService::SweepService(core::SignaturePipeline pipeline,
 
 SweepService::~SweepService() {
     {
-        std::lock_guard<std::mutex> lock(dispatch_mutex_);
+        MutexLock lock(dispatch_mutex_);
         stopping_ = true;
     }
     dispatch_cv_.notify_all();
@@ -194,8 +195,8 @@ void SweepService::worker_loop(unsigned worker_index) {
     while (true) {
         JobContext* ctx = nullptr;
         {
-            std::unique_lock<std::mutex> lock(dispatch_mutex_);
-            dispatch_cv_.wait(lock, [&] {
+            MutexLock lock(dispatch_mutex_);
+            dispatch_cv_.wait(lock, [&]() REQUIRES(dispatch_mutex_) {
                 return stopping_ || (current_job_ != nullptr &&
                                      job_generation_ != seen_generation);
             });
@@ -210,7 +211,7 @@ void SweepService::worker_loop(unsigned worker_index) {
             // JobContext the moment it observes active_workers == 0, so the
             // broadcast must complete before this worker releases the mutex
             // (a notify after unlocking would race the cv's destruction).
-            std::lock_guard<std::mutex> lock(ctx->mutex);
+            MutexLock lock(ctx->mutex);
             --ctx->active_workers;
             ctx->cv.notify_all();
         }
@@ -242,7 +243,7 @@ void SweepService::run_shards(JobContext& ctx, unsigned worker_index) {
                 // Non-member failure (bad node name, contract violation):
                 // park it for run() to rethrow and stop the whole job.
                 {
-                    std::lock_guard<std::mutex> lock(ctx.mutex);
+                    MutexLock lock(ctx.mutex);
                     if (!ctx.first_error)
                         ctx.first_error = std::current_exception();
                 }
@@ -254,13 +255,13 @@ void SweepService::run_shards(JobContext& ctx, unsigned worker_index) {
             ++evaluated;
             ctx.members_done.fetch_add(1, std::memory_order_relaxed);
             {
-                std::lock_guard<std::mutex> lock(ctx.mutex);
+                MutexLock lock(ctx.mutex);
                 ctx.ready.emplace(i, std::move(result));
             }
             ctx.cv.notify_all();
         }
         {
-            std::lock_guard<std::mutex> lock(ctx.mutex);
+            MutexLock lock(ctx.mutex);
             ctx.timings.push_back(
                 {shard, first, evaluated, worker_index, seconds_since(t0)});
         }
@@ -273,7 +274,7 @@ JobSummary SweepService::run(const SweepJob& job,
                              const ResultCallback& on_result,
                              SweepCancelToken* cancel) {
     XYSIG_EXPECTS(on_result != nullptr);
-    std::lock_guard<std::mutex> job_lock(job_mutex_); // one job at a time
+    MutexLock job_lock(job_mutex_); // one job at a time
 
     JobContext ctx;
     ctx.pipeline = &pipeline_;
@@ -331,8 +332,15 @@ JobSummary SweepService::run(const SweepJob& job,
     const auto t0 = std::chrono::steady_clock::now();
     if (ctx.members_total > 0) {
         {
-            std::lock_guard<std::mutex> lock(dispatch_mutex_);
+            // active_workers belongs to ctx.mutex, not dispatch_mutex_:
+            // workers can only reach the context after current_job_ is
+            // published below, so this runs race-free, but under its own
+            // lock so the guard discipline holds.
+            MutexLock lock(ctx.mutex);
             ctx.active_workers = workers_.size();
+        }
+        {
+            MutexLock lock(dispatch_mutex_);
             current_job_ = &ctx;
             ++job_generation_;
         }
@@ -351,8 +359,8 @@ JobSummary SweepService::run(const SweepJob& job,
             bool finished = false;
             while (!finished) {
                 {
-                    std::unique_lock<std::mutex> lock(ctx.mutex);
-                    ctx.cv.wait(lock, [&] {
+                    MutexLock lock(ctx.mutex);
+                    ctx.cv.wait(lock, [&]() REQUIRES(ctx.mutex) {
                         return ctx.active_workers == 0 ||
                                (!ctx.ready.empty() &&
                                 ctx.ready.begin()->first == next_expected);
@@ -378,21 +386,28 @@ JobSummary SweepService::run(const SweepJob& job,
         } catch (...) {
             ctx.failed.store(true, std::memory_order_relaxed);
             {
-                std::unique_lock<std::mutex> lock(ctx.mutex);
-                ctx.cv.wait(lock, [&] { return ctx.active_workers == 0; });
+                MutexLock lock(ctx.mutex);
+                ctx.cv.wait(lock, [&]() REQUIRES(ctx.mutex) {
+                    return ctx.active_workers == 0;
+                });
             }
             {
-                std::lock_guard<std::mutex> lock(dispatch_mutex_);
+                MutexLock lock(dispatch_mutex_);
                 current_job_ = nullptr;
             }
             throw;
         }
         {
-            std::lock_guard<std::mutex> lock(dispatch_mutex_);
+            MutexLock lock(dispatch_mutex_);
             current_job_ = nullptr;
         }
-        if (ctx.first_error)
-            std::rethrow_exception(ctx.first_error);
+        {
+            // Workers are done (active_workers hit 0 under ctx.mutex), but
+            // the guard discipline still applies to the finalisation reads.
+            MutexLock lock(ctx.mutex);
+            if (ctx.first_error)
+                std::rethrow_exception(ctx.first_error);
+        }
     }
 
     summary.seconds = seconds_since(t0);
@@ -400,14 +415,17 @@ JobSummary SweepService::run(const SweepJob& job,
     summary.shards_done = ctx.shards_done.load(std::memory_order_relaxed);
     summary.cancelled = cancel != nullptr && cancel->cancelled();
     summary.netlist_clones = ctx.clones.load(std::memory_order_relaxed);
-    summary.shard_timings = std::move(ctx.timings);
+    {
+        MutexLock lock(ctx.mutex);
+        summary.shard_timings = std::move(ctx.timings);
+    }
     std::sort(summary.shard_timings.begin(), summary.shard_timings.end(),
               [](const ShardTiming& a, const ShardTiming& b) {
                   return a.shard < b.shard;
               });
 
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         ++stats_.jobs;
         stats_.members += summary.members_done;
         stats_.shards += summary.shards_done;
@@ -417,7 +435,7 @@ JobSummary SweepService::run(const SweepJob& job,
 }
 
 SweepService::ServiceStats SweepService::stats() const {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     return stats_;
 }
 

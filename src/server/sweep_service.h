@@ -30,11 +30,9 @@
 ///    catastrophic universes legitimately contain unsolvable members).
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -42,6 +40,7 @@
 #include <vector>
 
 #include "capture/fault_injection.h"
+#include "common/annotated_mutex.h"
 #include "core/batch_ndf.h"
 #include "core/pipeline.h"
 #include "core/sweep.h"
@@ -219,22 +218,25 @@ public:
 private:
     struct JobContext;
 
-    void worker_loop(unsigned worker_index);
+    void worker_loop(unsigned worker_index) EXCLUDES(dispatch_mutex_);
     void run_shards(JobContext& ctx, unsigned worker_index);
 
     core::SignaturePipeline pipeline_;
     SweepServiceOptions options_;
 
+    /// Filled in the constructor, joined in the destructor, otherwise
+    /// immutable — needs no guard (unlike ThreadPool, nothing ever swaps
+    /// the handles out mid-life).
     std::vector<std::thread> workers_;
-    std::mutex job_mutex_;     ///< serialises run() callers
-    std::mutex dispatch_mutex_; ///< guards the fields below
-    std::condition_variable dispatch_cv_;
-    JobContext* current_job_ = nullptr;
-    std::uint64_t job_generation_ = 0;
-    bool stopping_ = false;
+    Mutex job_mutex_;     ///< serialises run() callers; guards no fields
+    Mutex dispatch_mutex_;
+    CondVar dispatch_cv_;
+    JobContext* current_job_ GUARDED_BY(dispatch_mutex_) = nullptr;
+    std::uint64_t job_generation_ GUARDED_BY(dispatch_mutex_) = 0;
+    bool stopping_ GUARDED_BY(dispatch_mutex_) = false;
 
-    mutable std::mutex stats_mutex_;
-    ServiceStats stats_;
+    mutable Mutex stats_mutex_;
+    ServiceStats stats_ GUARDED_BY(stats_mutex_);
 };
 
 } // namespace xysig::server

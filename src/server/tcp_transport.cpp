@@ -305,7 +305,7 @@ void TcpListener::accept_loop() {
         auto conn = std::make_unique<Connection>();
         conn->fd = fd;
         Connection* raw = conn.get();
-        std::lock_guard<std::mutex> lock(connections_mutex_);
+        MutexLock lock(connections_mutex_);
         reap_finished_connections_locked();
         conn->thread = std::thread([this, raw] { serve_connection(*raw); });
         connections_.push_back(std::move(conn));
@@ -403,7 +403,7 @@ void TcpListener::stop() {
 
     std::vector<std::unique_ptr<Connection>> conns;
     {
-        std::lock_guard<std::mutex> lock(connections_mutex_);
+        MutexLock lock(connections_mutex_);
         conns.swap(connections_);
     }
     for (auto& conn : conns) {

@@ -36,11 +36,11 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "server/transport.h"
 #include "server/wire.h"
 
@@ -149,7 +149,7 @@ private:
 
     void accept_loop();
     void serve_connection(Connection& conn);
-    void reap_finished_connections_locked();
+    void reap_finished_connections_locked() REQUIRES(connections_mutex_);
 
     Options options_;
     int listen_fd_ = -1;
@@ -159,8 +159,9 @@ private:
     std::thread accept_thread_;
     std::shared_ptr<SweepService> shared_service_; ///< when share_service
 
-    std::mutex connections_mutex_;
-    std::vector<std::unique_ptr<Connection>> connections_;
+    Mutex connections_mutex_;
+    std::vector<std::unique_ptr<Connection>> connections_
+        GUARDED_BY(connections_mutex_);
 };
 
 } // namespace xysig::server

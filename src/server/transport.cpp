@@ -145,7 +145,7 @@ LoopbackTransport::LoopbackTransport(Options options) : options_(options) {
         make_paper_pipeline(options_.samples_per_period), sopts);
     session_ = std::make_unique<ServerSession>(
         *service_, [this](const std::string& line) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (dead_)
                 return; // a crashed process emits nothing further
             responses_.push_back(line);
@@ -170,9 +170,10 @@ void LoopbackTransport::server_main() {
     while (true) {
         std::string line;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            request_cv_.wait(lock,
-                             [&] { return stopping_ || !requests_.empty(); });
+            MutexLock lock(mutex_);
+            request_cv_.wait(lock, [&]() REQUIRES(mutex_) {
+                return stopping_ || !requests_.empty();
+            });
             if (stopping_ || dead_)
                 break;
             line = std::move(requests_.front());
@@ -180,11 +181,11 @@ void LoopbackTransport::server_main() {
         }
         if (!session_->handle_line(line))
             break; // quit
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (stopping_ || dead_)
             break;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     dead_ = true;
     response_cv_.notify_all();
 }
@@ -199,7 +200,7 @@ bool LoopbackTransport::send_line(const std::string& line) {
             const JsonValue v = JsonValue::parse(line);
             if (v.is_object() && v.string_or("cmd", "") == "cancel") {
                 {
-                    std::lock_guard<std::mutex> lock(mutex_);
+                    MutexLock lock(mutex_);
                     if (dead_ || stopping_)
                         return false;
                 }
@@ -210,7 +211,7 @@ bool LoopbackTransport::send_line(const std::string& line) {
             // fall through: not actually a cancel command; queue it
         }
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (dead_ || stopping_)
         return false;
     requests_.push_back(line);
@@ -220,8 +221,10 @@ bool LoopbackTransport::send_line(const std::string& line) {
 
 Transport::ReadStatus LoopbackTransport::read_line(std::string& out,
                                                    double timeout_seconds) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    const auto readable = [&] { return !responses_.empty() || dead_; };
+    MutexLock lock(mutex_);
+    const auto readable = [&]() REQUIRES(mutex_) {
+        return !responses_.empty() || dead_;
+    };
     if (timeout_seconds <= 0.0) {
         response_cv_.wait(lock, readable);
     } else if (!response_cv_.wait_for(
@@ -239,7 +242,7 @@ Transport::ReadStatus LoopbackTransport::read_line(std::string& out,
 
 void LoopbackTransport::shutdown() {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
         request_cv_.notify_all();
     }
@@ -247,7 +250,7 @@ void LoopbackTransport::shutdown() {
         session_->cancel(""); // unblock an in-flight job promptly
     if (thread_.joinable())
         thread_.join();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     dead_ = true;
     response_cv_.notify_all();
 }

@@ -20,11 +20,11 @@
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
-#include <condition_variable>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/annotated_mutex.h"
 
 namespace xysig::server {
 
@@ -111,18 +111,20 @@ public:
     [[nodiscard]] std::string describe() const override;
 
 private:
-    void server_main();
+    void server_main() EXCLUDES(mutex_);
 
     Options options_;
 
-    std::mutex mutex_;
-    std::condition_variable request_cv_;
-    std::condition_variable response_cv_;
-    std::deque<std::string> requests_;
-    std::deque<std::string> responses_;
-    bool stopping_ = false; ///< shutdown requested; session thread must exit
-    bool dead_ = false;     ///< peer gone (injected death or session exit)
-    std::size_t results_emitted_ = 0;
+    Mutex mutex_;
+    CondVar request_cv_;
+    CondVar response_cv_;
+    std::deque<std::string> requests_ GUARDED_BY(mutex_);
+    std::deque<std::string> responses_ GUARDED_BY(mutex_);
+    bool stopping_ GUARDED_BY(mutex_) = false; ///< shutdown requested;
+                                               ///< session thread must exit
+    bool dead_ GUARDED_BY(mutex_) = false;     ///< peer gone (injected death
+                                               ///< or session exit)
+    std::size_t results_emitted_ GUARDED_BY(mutex_) = 0;
 
     // Owned service/session; pointers so the header stays light.
     std::unique_ptr<class SweepService> service_;

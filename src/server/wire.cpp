@@ -416,16 +416,19 @@ ServerSession::ServerSession(SweepService& service, LineSink sink,
         heartbeat_thread_ = std::thread([this,
                                          interval = options.heartbeat_seconds] {
             std::uint64_t seq = 0;
-            std::unique_lock<std::mutex> lock(heartbeat_mutex_);
+            MutexLock lock(heartbeat_mutex_);
             while (!heartbeat_cv_.wait_for(
                 lock, std::chrono::duration<double>(interval),
-                [this] { return heartbeat_stop_; })) {
-                lock.unlock();
+                [this]() REQUIRES(heartbeat_mutex_) { return heartbeat_stop_; })) {
+                // Emit outside the lock: emit() takes sink_mutex_ and a
+                // sink may block (full pipe); holding heartbeat_mutex_
+                // across it would stall the destructor's stop handshake.
+                lock.Unlock();
                 JsonValue::Object o;
                 o.emplace("event", "heartbeat");
                 o.emplace("seq", static_cast<std::size_t>(++seq));
                 emit(o);
-                lock.lock();
+                lock.Lock();
             }
         });
     }
@@ -436,7 +439,7 @@ ServerSession::~ServerSession() {
     // being torn down behind it.
     if (heartbeat_thread_.joinable()) {
         {
-            std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+            MutexLock lock(heartbeat_mutex_);
             heartbeat_stop_ = true;
         }
         heartbeat_cv_.notify_all();
@@ -451,7 +454,7 @@ ServerSession::~ServerSession() {
 
 void ServerSession::emit(const JsonValue::Object& obj) {
     const std::string line = JsonValue(obj).dump();
-    std::lock_guard<std::mutex> lock(sink_mutex_);
+    MutexLock lock(sink_mutex_);
     sink_(line);
 }
 
@@ -480,7 +483,7 @@ void ServerSession::cancel(const std::string& id) {
         // A cancel landing while handle_line is still DECODING its job
         // (SPICE universe enumeration takes milliseconds) must stick: mark
         // it here, submit_job applies it right after the submit.
-        std::lock_guard<std::mutex> lock(precancel_mutex_);
+        MutexLock lock(precancel_mutex_);
         if (decoding_active_ && (id.empty() || id == decoding_id_))
             decoding_cancelled_ = true;
     }
@@ -491,7 +494,7 @@ void ServerSession::drain() {
     while (true) {
         std::vector<std::unique_ptr<Emitter>> finished;
         {
-            std::lock_guard<std::mutex> lock(emitters_mutex_);
+            MutexLock lock(emitters_mutex_);
             finished.swap(emitters_);
         }
         if (finished.empty())
@@ -557,7 +560,7 @@ bool ServerSession::handle_line(const std::string& line) {
 
 void ServerSession::submit_job(const JsonValue& v) {
     {
-        std::lock_guard<std::mutex> lock(precancel_mutex_);
+        MutexLock lock(precancel_mutex_);
         decoding_active_ = true;
         decoding_id_ = v.is_object() ? v.string_or("id", "") : std::string();
         decoding_cancelled_ = false;
@@ -565,7 +568,7 @@ void ServerSession::submit_job(const JsonValue& v) {
     struct ClearDecoding {
         ServerSession* self;
         ~ClearDecoding() {
-            std::lock_guard<std::mutex> lock(self->precancel_mutex_);
+            MutexLock lock(self->precancel_mutex_);
             self->decoding_active_ = false;
             self->decoding_id_.clear();
         }
@@ -581,7 +584,7 @@ void ServerSession::submit_job(const JsonValue& v) {
     const std::size_t position = scheduler_->stats().queue_depth;
     JobHandle handle = scheduler_->submit(std::move(wire), std::move(sopts));
     {
-        std::lock_guard<std::mutex> lock(precancel_mutex_);
+        MutexLock lock(precancel_mutex_);
         if (decoding_cancelled_)
             handle.cancel();
     }
@@ -609,7 +612,7 @@ void ServerSession::submit_job(const JsonValue& v) {
             emit_job_events(std::move(h));
             raw->finished.store(true, std::memory_order_release);
         });
-    std::lock_guard<std::mutex> lock(emitters_mutex_);
+    MutexLock lock(emitters_mutex_);
     reap_finished_emitters_locked();
     emitters_.push_back(std::move(emitter));
 }

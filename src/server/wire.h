@@ -42,15 +42,15 @@
 /// version-2 reader consumes a version-3 stream correctly.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/annotated_mutex.h"
 
 #include "server/json.h"
 #include "server/sweep_service.h"
@@ -202,36 +202,38 @@ public:
 private:
     struct Emitter; ///< one per-job event-stream thread
 
-    void emit(const JsonValue::Object& obj);
+    void emit(const JsonValue::Object& obj) EXCLUDES(sink_mutex_);
     void emit_error(const std::string& id, const std::string& message);
     void submit_job(const JsonValue& v);
     void emit_job_events(JobHandle handle);
     void emit_stats();
-    void reap_finished_emitters_locked();
+    void reap_finished_emitters_locked() REQUIRES(emitters_mutex_);
 
     SweepService& service_;
+    /// Immutable after construction; sink_mutex_ serialises *invocations*
+    /// (whole emitted lines), not the function object itself.
     LineSink sink_;
-    std::mutex sink_mutex_; ///< serialises whole emitted lines
+    Mutex sink_mutex_;
     std::atomic<bool> all_verified_{true};
     std::unique_ptr<JobScheduler> scheduler_;
 
     // Heartbeat thread (protocol v3 liveness; only when
     // SessionOptions::heartbeat_seconds > 0).
     std::thread heartbeat_thread_;
-    std::mutex heartbeat_mutex_;
-    std::condition_variable heartbeat_cv_;
-    bool heartbeat_stop_ = false;
+    Mutex heartbeat_mutex_;
+    CondVar heartbeat_cv_;
+    bool heartbeat_stop_ GUARDED_BY(heartbeat_mutex_) = false;
 
-    std::mutex emitters_mutex_;
-    std::vector<std::unique_ptr<Emitter>> emitters_;
+    Mutex emitters_mutex_;
+    std::vector<std::unique_ptr<Emitter>> emitters_ GUARDED_BY(emitters_mutex_);
 
     /// Pre-submit cancel window: SPICE decode takes milliseconds, and a
     /// concurrent cancel() for the job being decoded must not be dropped
     /// (the fan-out driver sends its cancel exactly once).
-    std::mutex precancel_mutex_;
-    std::string decoding_id_;
-    bool decoding_active_ = false;
-    bool decoding_cancelled_ = false;
+    Mutex precancel_mutex_;
+    std::string decoding_id_ GUARDED_BY(precancel_mutex_);
+    bool decoding_active_ GUARDED_BY(precancel_mutex_) = false;
+    bool decoding_cancelled_ GUARDED_BY(precancel_mutex_) = false;
 };
 
 } // namespace xysig::server

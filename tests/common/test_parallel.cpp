@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -32,6 +33,24 @@ TEST(ThreadPool, DestructorDrainsQueuedTasks) {
         // No wait_idle: the destructor must finish the queue before joining.
     }
     EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ThreadCountIsStableAcrossShutdown) {
+    // Regression: thread_count() used to size the live worker vector, which
+    // shutdown() swaps out under the pool mutex — a caller sizing work off
+    // it concurrently with (or after) shutdown read a moving target. It now
+    // reports the constructed size, always.
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.thread_count(), 3u);
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed))
+            ASSERT_EQ(pool.thread_count(), 3u);
+    });
+    pool.shutdown();
+    EXPECT_EQ(pool.thread_count(), 3u); // workers joined, count unchanged
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
 }
 
 TEST(ThreadPool, SubmitAfterShutdownThrows) {

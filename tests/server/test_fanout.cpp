@@ -8,6 +8,7 @@
 
 #include "server/fanout.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstddef>
@@ -454,6 +455,40 @@ TEST(FanoutDriver, WorkStealingRescuesAStragglerBitIdentically) {
     for (const PartitionOutcome& p : summary.partitions)
         per_partition += p.steals;
     EXPECT_EQ(per_partition, summary.steals); // victim accounting adds up
+}
+
+TEST(FanoutDriver, PartitionWallClockIsRecordedForEveryBusyPartition) {
+    // Regression: the per-partition wall-clock used to be written after the
+    // thread's last serve loop WITHOUT the driver lock, racing the merge
+    // thread's reads of the same outcome entry (and, with stealing on,
+    // sibling threads' accounting writes). Pin that every non-empty
+    // partition reports a positive wall-clock and that the min/max/mean
+    // straggler stats are consistent with the per-partition values.
+    const std::string job =
+        R"({"job":"deviations","grid":{"from":-12,"to":12,"count":96},"shard_size":8})";
+    FanoutOptions opts;
+    opts.partitions = 3;
+    opts.steal_threshold = 4; // exercise the post-steal accounting path too
+    FanoutDriver driver(loopback_factory(), opts);
+
+    std::size_t delivered = 0;
+    const FanoutSummary summary =
+        driver.run(job, [&](const FanoutRecord&) { ++delivered; });
+
+    EXPECT_EQ(delivered, 96u);
+    ASSERT_EQ(summary.partitions.size(), 3u);
+    double max_seen = 0.0;
+    for (const PartitionOutcome& p : summary.partitions) {
+        if (p.member_count == 0)
+            continue;
+        EXPECT_GT(p.seconds, 0.0) << "partition " << p.partition;
+        max_seen = std::max(max_seen, p.seconds);
+    }
+    EXPECT_GT(summary.partition_seconds_min, 0.0);
+    EXPECT_GE(summary.partition_seconds_max, summary.partition_seconds_min);
+    EXPECT_GE(summary.partition_seconds_mean, summary.partition_seconds_min);
+    EXPECT_LE(summary.partition_seconds_mean, summary.partition_seconds_max);
+    EXPECT_EQ(summary.partition_seconds_max, max_seen);
 }
 
 TEST(FanoutDriver, ThrowingTransportFactoryCostsOneAttempt) {

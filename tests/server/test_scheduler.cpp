@@ -13,13 +13,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/annotated_mutex.h"
 #include "common/strings.h"
 #include "core/golden_cache.h"
 #include "core/paper_setup.h"
@@ -460,11 +460,11 @@ TEST(ServerSession, InterleavedClientsStreamBitIdenticalAndResubmitIsCached) {
     const std::vector<SweepResult> ref_big = serial_reference(
         service, wire_job(R"({"job":"deviations",)" + big_universe + "}"));
 
-    std::mutex lines_mutex;
+    xysig::Mutex lines_mutex;
     std::vector<std::string> lines;
     {
         ServerSession session(service, [&](const std::string& l) {
-            std::lock_guard<std::mutex> g(lines_mutex);
+            xysig::MutexLock g(lines_mutex);
             lines.push_back(l);
         });
         session.emit_ready(256);
