@@ -234,9 +234,8 @@ void write_json(const std::string& path, bool smoke, std::size_t samples,
         std::vector<filter::BehaviouralCut> universe;
         universe.reserve(universe_size);
         for (std::size_t i = 0; i < universe_size; ++i) {
-            const double dev =
-                0.2 * (static_cast<double>(i) - universe_size / 2.0) /
-                (universe_size / 2.0);
+            const double half = static_cast<double>(universe_size) / 2.0;
+            const double dev = 0.2 * (static_cast<double>(i) - half) / half;
             universe.emplace_back(core::paper_biquad().with_f0_shift(dev));
         }
         std::vector<const filter::Cut*> raw;

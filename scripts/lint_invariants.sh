@@ -27,6 +27,12 @@
 #       "bit-identical"/"bit_identical" marking the check that compares
 #       against the serial reference). Purely serial figure
 #       reproductions are allowlisted below.
+#
+#   R5  no std::cout/std::cerr in src/ library code. The server speaks
+#       NDJSON on stdout and machine-parsed diagnostics on stderr; a
+#       stray stream insert from the library interleaves with (and
+#       corrupts) both. Tools, benches, examples and tests own their
+#       streams and are exempt.
 set -u
 
 self_test=0
@@ -117,6 +123,16 @@ run_lint() {
         fail "catch block silently swallows the exception — handle it or comment why dropping it is correct (R3)"
     fi
 
+    # R5: no std::cout/std::cerr in library code (src/ only).
+    if [ -d "$root/src" ]; then
+        r5_hits=$(find "$root/src" -type f \( -name '*.cpp' -o -name '*.h' \) |
+            xargs -r grep -nE 'std::c(out|err)([^[:alnum:]_]|$)' /dev/null 2>/dev/null || true)
+        if [ -n "$r5_hits" ]; then
+            printf '%s\n' "$r5_hits" >&2
+            fail "std::cout/std::cerr in src/ library code — stdout is NDJSON-only; emit through the structured wire/report paths (R5)"
+        fi
+    fi
+
     # R4: bench bit-identity gates.
     if [ -d "$root/bench" ]; then
         for bench in "$root"/bench/bench_*.cpp; do
@@ -186,6 +202,16 @@ run_self_test() {
     printf 'int main() { return 0; }\n' >"$tmp/bench/bench_widget.cpp"
     check_fires R4
 
+    # R5: stream insert in library code.
+    stage
+    printf '#include <iostream>\nvoid log_hit() { std::cout << "hit"; }\n' \
+        >"$tmp/src/bad.cpp"
+    check_fires R5
+    stage
+    printf '#include <iostream>\nvoid warn() { std::cerr << "boom"; }\n' \
+        >"$tmp/src/bad.cpp"
+    check_fires R5-cerr
+
     # Clean tree passes: comment-only catch, annotated mutex, marked and
     # allowlisted benches, identifiers merely ending in "rand".
     stage
@@ -203,7 +229,8 @@ void f() {
     (void)strand();
 }
 EOF
-    printf '// gate: results are bit-identical to serial\nint main(){}\n' \
+    # std::cout is fine outside src/ (R5 exempts benches/tools/tests).
+    printf '// gate: results are bit-identical to serial\n#include <iostream>\nint main(){ std::cout << "ok\\n"; }\n' \
         >"$tmp/bench/bench_widget.cpp"
     printf 'int main(){}\n' >"$tmp/bench/bench_fig1_lissajous.cpp"
     if ! "$0" "$tmp" >/dev/null 2>&1; then

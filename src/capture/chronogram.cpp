@@ -13,6 +13,7 @@ Chronogram::Chronogram(double period, unsigned code_bits,
     XYSIG_EXPECTS(period > 0.0);
     XYSIG_EXPECTS(code_bits >= 1 && code_bits <= 32);
     XYSIG_EXPECTS(!events_.empty());
+    // xylint: exact-compare(contract: the first event is emitted at exactly t=0)
     XYSIG_EXPECTS(events_.front().t == 0.0);
     for (std::size_t i = 1; i < events_.size(); ++i) {
         XYSIG_EXPECTS(events_[i].t > events_[i - 1].t);
@@ -42,6 +43,7 @@ double Chronogram::dwell(std::size_t i) const {
 
 Chronogram Chronogram::from_trace(const XyTrace& trace,
                                   const monitor::MonitorBank& bank) {
+    // xylint: exact-compare(contract: traces are rendered from exactly t=0)
     XYSIG_EXPECTS(trace.start_time() == 0.0);
     std::vector<CodeEvent> events;
     encode_events(trace.x().samples(), trace.y().samples(), trace.dt(), bank,

@@ -73,10 +73,12 @@ void ascii_plot_series(std::ostream& out, std::span<const double> xs,
     const double x_hi = max_value(xs);
     double y_lo = min_value(ys);
     double y_hi = max_value(ys);
+    // xylint: exact-compare(exactly-flat series degenerate-window guard)
     if (y_hi == y_lo) { // flat series: open a window around the value
         y_lo -= 1.0;
         y_hi += 1.0;
     }
+    // xylint: exact-compare(exactly-degenerate x range guard)
     AsciiCanvas canvas(x_lo, x_hi == x_lo ? x_lo + 1.0 : x_hi, y_lo, y_hi);
     canvas.polyline(xs, ys, glyph);
     canvas.print(out, title);

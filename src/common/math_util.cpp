@@ -51,9 +51,9 @@ double bisect(const std::function<double(double)>& f, double lo, double hi,
     XYSIG_EXPECTS(lo <= hi);
     double flo = f(lo);
     double fhi = f(hi);
-    if (flo == 0.0)
+    if (flo == 0.0) // xylint: exact-compare(an exact root ends bisection early)
         return lo;
-    if (fhi == 0.0)
+    if (fhi == 0.0) // xylint: exact-compare(an exact root ends bisection early)
         return hi;
     if ((flo > 0.0) == (fhi > 0.0))
         throw NumericError("bisect: endpoints do not bracket a root");
@@ -61,6 +61,7 @@ double bisect(const std::function<double(double)>& f, double lo, double hi,
     for (int i = 0; i < opts.max_iterations; ++i) {
         const double mid = 0.5 * (lo + hi);
         const double fmid = f(mid);
+        // xylint: exact-compare(an exact root ends bisection early)
         if (fmid == 0.0 || (hi - lo) < opts.xtol)
             return mid;
         if ((fmid > 0.0) == (flo > 0.0)) {

@@ -12,6 +12,7 @@ double Rng::uniform(double lo, double hi) {
 
 double Rng::normal(double mu, double sigma) {
     XYSIG_EXPECTS(sigma >= 0.0);
+    // xylint: exact-compare(sigma=0 is the exact no-noise switch; a zero-sigma draw would still perturb the engine state)
     if (sigma == 0.0)
         return mu;
     std::normal_distribution<double> dist(mu, sigma);

@@ -95,11 +95,13 @@ LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
         // unless y is constant too, in which case the fit is exact.
         fit.slope = 0.0;
         fit.intercept = my;
+        // xylint: exact-compare(exactly-constant column degenerate case)
         fit.r_squared = (syy == 0.0) ? 1.0 : 0.0;
         return fit;
     }
     fit.slope = sxy / sxx;
     fit.intercept = my - fit.slope * mx;
+    // xylint: exact-compare(exactly-constant column degenerate case)
     fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
     return fit;
 }

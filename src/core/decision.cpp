@@ -30,6 +30,7 @@ double interpolate_ndf(std::span<const SweepPoint> sweep, double dev) {
             const auto& lo = sorted[i - 1];
             const auto& hi = sorted[i];
             const double span = hi.deviation_percent - lo.deviation_percent;
+            // xylint: exact-compare(only an exactly-zero span divides by zero below; duplicated grid point guard)
             if (span == 0.0)
                 return lo.ndf_value;
             const double frac = (dev - lo.deviation_percent) / span;

@@ -15,6 +15,7 @@ double DetectabilityStudy::minimum_detectable() const {
         if (!p.detected)
             continue;
         const double mag = std::abs(p.deviation_percent);
+        // xylint: exact-compare(0.0 is the nothing-detected-yet sentinel, assigned verbatim above)
         if (best == 0.0 || mag < best)
             best = mag;
     }

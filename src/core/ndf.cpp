@@ -44,6 +44,7 @@ std::vector<HammingSegment> hamming_profile(const capture::Chronogram& observed,
         // Merge with the previous segment when the distance is unchanged so
         // the profile is minimal (nicer chronogram plots).
         if (!profile.empty() && profile.back().distance == d &&
+            // xylint: exact-compare(abutting segments carry the same double boundary value verbatim)
             profile.back().t_end == t0) {
             profile.back().t_end = t1;
         } else {

@@ -51,12 +51,23 @@ std::string SignaturePipeline::golden_cache_key(const filter::Cut& cut) const {
     const std::string bank_fp = bank_.fingerprint();
     if (bank_fp.empty())
         return {};
-    std::string key = "cut{" + cut_key + "}|bank{" + bank_fp + "}|stim{" +
-                      format_double_exact(stimulus_.offset());
-    for (const Tone& tone : stimulus_.tones())
-        key += ";" + format_double_exact(tone.amplitude) + "," +
-               format_double_exact(tone.frequency_hz) + "," +
-               format_double_exact(tone.phase_rad);
+    // Built with discrete appends: the `"x" + std::string&&` concat chain
+    // trips GCC's -Wrestrict false positive at -O3 once inlined, and the
+    // hardening lane builds with -Werror.
+    std::string key = "cut{";
+    key += cut_key;
+    key += "}|bank{";
+    key += bank_fp;
+    key += "}|stim{";
+    key += format_double_exact(stimulus_.offset());
+    for (const Tone& tone : stimulus_.tones()) {
+        key += ';';
+        key += format_double_exact(tone.amplitude);
+        key += ',';
+        key += format_double_exact(tone.frequency_hz);
+        key += ',';
+        key += format_double_exact(tone.phase_rad);
+    }
     key += "}|spp=" + std::to_string(options_.samples_per_period);
     key += "|ck=";
     key += options_.compiled_kernels ? '1' : '0';

@@ -19,6 +19,7 @@ CompiledMonitorBank CompiledMonitorBank::compile(const monitor::MonitorBank& ban
         for (std::size_t i = 0; i < out.legs_.size(); ++i) {
             const MosLeg& have = out.legs_[i];
             if (have.x_input == leg.x_input && have.kind == leg.kind &&
+                // xylint: exact-compare(leg dedup must be bit-exact or two monitors would alias onto one slightly-different leg)
                 have.vds == leg.vds && have.params == leg.params)
                 return static_cast<std::uint32_t>(i);
         }

@@ -16,10 +16,13 @@ constexpr double kRefY = 0.0;
 } // namespace
 
 LinearBoundary::LinearBoundary(double a, double b, double c) : a_(a), b_(b), c_(c) {
+    // xylint: exact-compare(a degenerate all-zero line is a caller bug; only exact zeros are invalid)
     XYSIG_EXPECTS(a != 0.0 || b != 0.0);
     double at_origin = c_;
+    // xylint: exact-compare(c=0 means the line passes exactly through the origin; probe the reference point instead)
     if (at_origin == 0.0)
         at_origin = a_ * kRefX + b_ * kRefY + c_;
+    // xylint: exact-compare(orientation needs a strictly signed probe; exact zero is the only invalid value)
     XYSIG_EXPECTS(at_origin != 0.0); // line through the reference point too
     if (at_origin > 0.0) {
         a_ = -a_;
@@ -50,6 +53,7 @@ std::vector<CurvePoint> trace_boundary(const Boundary& boundary, double x_lo,
         double prev = boundary.h(x, ys[0]);
         for (std::size_t j = 1; j < ys.size(); ++j) {
             const double cur = boundary.h(x, ys[j]);
+            // xylint: exact-compare(a sample exactly on the boundary IS the curve point; no bisection needed)
             if (prev == 0.0) {
                 points.push_back({x, ys[j - 1]});
             } else if ((prev < 0.0) != (cur < 0.0)) {
@@ -59,6 +63,7 @@ std::vector<CurvePoint> trace_boundary(const Boundary& boundary, double x_lo,
             }
             prev = cur;
         }
+        // xylint: exact-compare(final sample exactly on the boundary is a curve point)
         if (prev == 0.0)
             points.push_back({x, ys.back()});
     }

@@ -24,7 +24,12 @@ ComparatorCircuit build_comparator(const MonitorConfig& config,
 
     // Input devices: gates driven by dedicated sources (set per plane point).
     for (int i = 0; i < 4; ++i) {
-        const auto gate = nl.node("g" + std::to_string(i + 1));
+        // `"g" + std::to_string(...)` (char* + string&&) trips GCC's
+        // -Wrestrict false positive at -O3; append onto an lvalue instead.
+        std::string suffix = std::to_string(i + 1);
+        std::string gate_name = "g";
+        gate_name += suffix;
+        const auto gate = nl.node(gate_name);
         nl.add<spice::VoltageSource>(ckt.v_inputs[i], gate, spice::kGround, 0.0);
         spice::MosParams p = config.device;
         p.w = config.legs[static_cast<std::size_t>(i)].width;
@@ -32,8 +37,9 @@ ComparatorCircuit build_comparator(const MonitorConfig& config,
                 config.legs[static_cast<std::size_t>(i)].vt0_delta;
         p.kp = config.device.kp * config.legs[static_cast<std::size_t>(i)].kp_scale;
         const auto drain = (i < 2) ? out1 : out2;
-        nl.add<spice::Mosfet>("M" + std::to_string(i + 1), drain, gate,
-                              spice::kGround, p);
+        std::string mos_name = "M";
+        mos_name += suffix;
+        nl.add<spice::Mosfet>(mos_name, drain, gate, spice::kGround, p);
     }
 
     // pMOS loads: M5/M8 diode-connected, M6/M7 cross-coupled.

@@ -48,6 +48,7 @@ MosCurrentBoundary::MosCurrentBoundary(MonitorConfig config)
     const double scale = std::abs(current_difference(0.5, 0.5)) + 1e-12;
     if (std::abs(at_origin) < 1e-9 * scale)
         at_origin = current_difference(kRefX, kRefY);
+    // xylint: exact-compare(orientation needs a strictly signed probe; exact zero is the only invalid value)
     XYSIG_EXPECTS(at_origin != 0.0);
     orientation_ = (at_origin > 0.0) ? -1.0 : 1.0;
 }

@@ -41,8 +41,10 @@ void Figure::print(std::ostream& out, bool with_ascii_plot) const {
         y_lo = std::min(y_lo, min_value(s.ys));
         y_hi = std::max(y_hi, max_value(s.ys));
     }
+    // xylint: exact-compare(exactly-degenerate axis range guard)
     if (x_hi == x_lo)
         x_hi = x_lo + 1.0;
+    // xylint: exact-compare(exactly-degenerate axis range guard)
     if (y_hi == y_lo)
         y_hi = y_lo + 1.0;
     AsciiCanvas canvas(x_lo, x_hi, y_lo, y_hi);

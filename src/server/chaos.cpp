@@ -100,6 +100,7 @@ Transport::ReadStatus ChaosTransport::fault_read(std::string& out,
         // Silence without close. Lines are withheld, not consumed, so a
         // finite stall resumes the stream with nothing lost.
         const double now = monotonic_seconds();
+        // xylint: exact-compare(0.0 is the stall-not-started sentinel, assigned verbatim)
         if (stall_until_ == 0.0)
             stall_until_ = plan_.stall_seconds > 0.0
                                ? now + plan_.stall_seconds

@@ -12,14 +12,23 @@ std::string pipeline_fingerprint(const core::SignaturePipeline& pipe) {
     if (bank_fp.empty())
         return {}; // a custom monitor without a fingerprint is uncacheable
     const core::PipelineOptions& opts = pipe.options();
+    // xylint: exact-compare(sigma=0 is the exact no-noise switch; any other value disables caching)
     if (opts.noise_sigma != 0.0 || opts.quantise)
         return {}; // noise draws / capture options are not in the key scheme
-    std::string fp = "bank{" + bank_fp + "}|stim{" +
-                     format_double_exact(pipe.stimulus().offset());
-    for (const Tone& tone : pipe.stimulus().tones())
-        fp += ";" + format_double_exact(tone.amplitude) + "," +
-              format_double_exact(tone.frequency_hz) + "," +
-              format_double_exact(tone.phase_rad);
+    // Discrete appends, not a `"x" + std::string&&` chain: that pattern hits
+    // GCC's -Wrestrict false positive at -O3 under the -Werror hardening lane.
+    std::string fp = "bank{";
+    fp += bank_fp;
+    fp += "}|stim{";
+    fp += format_double_exact(pipe.stimulus().offset());
+    for (const Tone& tone : pipe.stimulus().tones()) {
+        fp += ';';
+        fp += format_double_exact(tone.amplitude);
+        fp += ',';
+        fp += format_double_exact(tone.frequency_hz);
+        fp += ',';
+        fp += format_double_exact(tone.phase_rad);
+    }
     fp += "}|spp=" + std::to_string(opts.samples_per_period);
     fp += "|ck=";
     fp += opts.compiled_kernels ? '1' : '0';

@@ -20,6 +20,7 @@ namespace xysig::server {
 std::size_t index_field(const JsonValue& v, const char* what) {
     constexpr double kMaxExactInteger = 9007199254740992.0; // 2^53
     const double n = v.as_number();
+    // xylint: exact-compare(x==floor(x) is the exact is-integer test; doubles below 2^53 are exact)
     if (!(n >= 0.0) || n != std::floor(n) || n > kMaxExactInteger)
         throw InvalidInput(std::string("wire: ") + what +
                            " must be a non-negative integer (<= 2^53)");
@@ -60,6 +61,7 @@ WireJob parse_wire_job(const JsonValue& v) {
     WireJob wire;
     if (v.has("version")) {
         const double ver = v.at("version").as_number();
+        // xylint: exact-compare(x==floor(x) is the exact is-integer test)
         if (ver != std::floor(ver) || ver < 1)
             throw InvalidInput("wire: version must be a positive integer");
         if (ver > kProtocolVersion)
@@ -183,6 +185,7 @@ WireJob parse_wire_job(const JsonValue& v) {
         // Signed, unlike index_field: low-priority background jobs are
         // spelled with negative numbers.
         const double p = v.at("priority").as_number();
+        // xylint: exact-compare(x==floor(x) is the exact is-integer test)
         if (p != std::floor(p) || std::abs(p) > 1e9)
             throw InvalidInput(
                 "wire: priority must be an integer in [-1e9, 1e9]");
@@ -697,6 +700,7 @@ void ServerSession::emit_job_events(JobHandle handle) {
         const JobSummary& summary = out.summary;
         double shard_min = 0.0, shard_max = 0.0, shard_sum = 0.0;
         for (const auto& st : summary.shard_timings) {
+            // xylint: exact-compare(0.0 is the no-shard-seen-yet sentinel, assigned verbatim above)
             shard_min = (shard_min == 0.0 || st.seconds < shard_min)
                             ? st.seconds
                             : shard_min;

@@ -66,6 +66,7 @@ std::complex<double> tone_component(const std::vector<double>& samples, double f
         const double ph = w * static_cast<double>(i);
         acc += samples[i] * std::complex<double>(std::cos(ph), -std::sin(ph));
     }
+    // xylint: exact-compare(DC bin selection; f is exactly 0.0 only when the caller asks for DC)
     const double scale = (f == 0.0 ? 1.0 : 2.0) / static_cast<double>(samples.size());
     return acc * scale;
 }

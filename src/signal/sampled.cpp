@@ -123,7 +123,9 @@ void SampledSignal::add_white_noise(Rng& rng, double sigma) {
 XyTrace::XyTrace(SampledSignal x, SampledSignal y) : x_(std::move(x)), y_(std::move(y)) {
     XYSIG_EXPECTS(x_.size() == y_.size());
     XYSIG_EXPECTS(x_.size() >= 2);
+    // xylint: exact-compare(contract: both channels are sampled on the identical grid, bit for bit)
     XYSIG_EXPECTS(x_.dt() == y_.dt());
+    // xylint: exact-compare(contract: both channels start at the identical instant, bit for bit)
     XYSIG_EXPECTS(x_.start_time() == y_.start_time());
 }
 

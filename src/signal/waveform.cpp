@@ -119,10 +119,12 @@ double PulseWaveform::value(double t) const {
         return v1_;
     const double tp = std::fmod(t - delay_, period_);
     if (tp < rise_)
+        // xylint: exact-compare(rise=0 is the exact ideal-edge configuration; guards the division)
         return rise_ == 0.0 ? v2_ : lerp(v1_, v2_, tp / rise_);
     if (tp < rise_ + width_)
         return v2_;
     if (tp < rise_ + width_ + fall_)
+        // xylint: exact-compare(fall=0 is the exact ideal-edge configuration; guards the division)
         return fall_ == 0.0 ? v1_ : lerp(v2_, v1_, (tp - rise_ - width_) / fall_);
     return v1_;
 }

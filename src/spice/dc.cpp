@@ -73,6 +73,7 @@ int newton_solve(const Netlist& nl, std::vector<double>& x, std::size_t n_unknow
                 converged = false;
             x[i] += damp * delta;
         }
+        // xylint: exact-compare(damp is assigned the literal 1.0 when damping is off; exact state flag)
         if (converged && damp == 1.0)
             return iter;
     }

@@ -76,6 +76,7 @@ void Netlist::remove_device(const std::string& name) {
     const std::size_t index = it->second;
     device_index_.erase(it);
     devices_.erase(devices_.begin() + static_cast<std::ptrdiff_t>(index));
+    // xylint: order-insensitive(pure per-entry index shift; no read depends on visit order and nothing is emitted)
     for (auto& [unused, idx] : device_index_) {
         if (idx > index)
             --idx;

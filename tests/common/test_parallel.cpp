@@ -153,7 +153,9 @@ TEST(ParallelFor, FromDirectPoolTasksDegradesToSerialWithoutDeadlock) {
         h = 0;
     for (int task = 0; task < 4; ++task)
         pool.submit([&hits, task] {
-            parallel_for(0, 64, [&](std::size_t i) { ++hits[task * 64 + i]; });
+            parallel_for(0, 64, [&](std::size_t i) {
+                ++hits[static_cast<std::size_t>(task) * 64 + i];
+            });
         });
     pool.wait_idle();
     for (std::size_t i = 0; i < hits.size(); ++i)

@@ -82,8 +82,10 @@ INSTANTIATE_TEST_SUITE_P(
                       Corner{"fast_low_vt", 0.25, 280e-6, 1.30},
                       Corner{"low_gain", 0.30, 150e-6, 1.35},
                       Corner{"steep_subthreshold", 0.30, 250e-6, 1.15}),
-    [](const ::testing::TestParamInfo<Corner>& info) {
-        return std::string(info.param.name);
+    // `param_info`, not `info`: the INSTANTIATE_TEST_SUITE_P expansion already
+    // has an `info` parameter in scope, and the hardening lane builds -Wshadow.
+    [](const ::testing::TestParamInfo<Corner>& param_info) {
+        return std::string(param_info.param.name);
     });
 
 } // namespace

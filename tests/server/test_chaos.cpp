@@ -159,8 +159,11 @@ INSTANTIATE_TEST_SUITE_P(AllFaultModes, ChaosMatrix,
                                            ChaosMode::truncate,
                                            ChaosMode::garbage,
                                            ChaosMode::delay),
-                         [](const auto& info) {
-                             return std::string(chaos_mode_name(info.param));
+                         // `param_info`, not `info`: the macro expansion has
+                         // its own `info` in scope (-Wshadow under hardening).
+                         [](const auto& param_info) {
+                             return std::string(
+                                 chaos_mode_name(param_info.param));
                          });
 
 TEST(ChaosTransport, GarbageLineIsDeterministicForAFixedSeed) {

@@ -99,7 +99,8 @@ TEST(SampledSignal, SliceTimeMatchesFullScanOnRandomWindows) {
         if (rep % 3 == 0)
             t_begin = s.time_at(static_cast<std::size_t>(
                 rng.uniform(0.0, static_cast<double>(n - 1))));
-        const double t_end = t_begin + rng.uniform(dt, (n + 2) * dt);
+        const double t_end =
+            t_begin + rng.uniform(dt, static_cast<double>(n + 2) * dt);
 
         const SampledSignal ref = slice_time_by_scan(s, t_begin, t_end);
         if (ref.empty()) {

@@ -71,6 +71,57 @@ TEST(Netlist, AssignUnknownsCountsExtras) {
     EXPECT_EQ(nl.assign_unknowns(), 4u);
 }
 
+// Regression guard for the only unordered_map iteration in src/ (the
+// remove_device reindex loop, xylint D1-annotated): everything the rest of
+// the system derives from a netlist — MNA assembly order, and through it
+// every simulated bit that reaches fingerprints and wire output — flows
+// from devices(), which must be pure insertion order regardless of the
+// hash-table history of the name index. Build two netlists with identical
+// final content but radically different unordered_map bucket histories
+// (one churns through many transient insert/erase cycles, forcing rehashes)
+// and pin that enumeration order and name lookups agree exactly.
+TEST(Netlist, DeviceOrderIsInsertionOrderIndependentOfHashState) {
+    const auto build = [](bool churn) {
+        Netlist nl;
+        const NodeId a = nl.node("a");
+        const NodeId b = nl.node("b");
+        if (churn) {
+            // Grow and shrink the device index so its bucket count and
+            // per-bucket chains differ from the pristine netlist's.
+            for (int i = 0; i < 64; ++i)
+                nl.add<Resistor>("Rtmp" + std::to_string(i), a, kGround, 1e3);
+            for (int i = 63; i >= 0; --i)
+                nl.remove_device("Rtmp" + std::to_string(i));
+        }
+        nl.add<VoltageSource>("V1", a, kGround, 1.0);
+        nl.add<Resistor>("R1", a, b, 1e3);
+        nl.add<Resistor>("R2", b, kGround, 2e3);
+        nl.add<Capacitor>("C1", b, kGround, 1e-9);
+        nl.remove_device("R1"); // exercises the reindex loop under test
+        return nl;
+    };
+    const Netlist clean = build(false);
+    const Netlist churned = build(true);
+
+    const auto names = [](const Netlist& nl) {
+        std::vector<std::string> out;
+        for (const auto& dev : nl.devices())
+            out.push_back(dev->name());
+        return out;
+    };
+    const std::vector<std::string> expected{"V1", "R2", "C1"};
+    EXPECT_EQ(names(clean), expected);
+    EXPECT_EQ(names(churned), expected);
+
+    // The post-removal name index must still resolve every survivor to the
+    // same object that insertion-order enumeration sees.
+    for (const Netlist* nl : {&clean, &churned}) {
+        EXPECT_EQ(nl->get<Resistor>("R2").resistance(), 2e3);
+        EXPECT_EQ(&nl->get<Capacitor>("C1"), nl->devices()[2].get());
+        EXPECT_THROW((void)nl->get<Resistor>("R1"), InvalidInput);
+    }
+}
+
 TEST(Netlist, DeviceNodeMustExist) {
     Netlist nl;
     (void)nl.node("a");

@@ -1,0 +1,11 @@
+// xylint self-test corpus — A1 known-bad (annotation hygiene).
+//
+// Escape hatches must not rot into blanket waivers: an empty
+// justification and an unknown tag are both findings in their own
+// right, even though the code below them is otherwise unremarkable.
+int plain(int v) {
+    // xylint: exact-compare()
+    int doubled = v * 2;
+    // xylint: frobnicate(mystery waiver)
+    return doubled;
+}

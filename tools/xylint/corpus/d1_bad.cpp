@@ -1,0 +1,20 @@
+// xylint self-test corpus — D1 known-bad.
+//
+// Hash-order iteration feeding an output string: the serialised result
+// depends on std::unordered_map's bucket order, which is unspecified and
+// differs across standard libraries and allocation histories. This is
+// exactly the construction that breaks wire/fingerprint bit-identity,
+// and xylint must flag it.
+#include <string>
+#include <unordered_map>
+
+std::string serialise(const std::unordered_map<std::string, int>& m) {
+    std::string out;
+    for (const auto& [key, value] : m) { // D1: order reaches the output
+        out += key;
+        out += '=';
+        out += std::to_string(value);
+        out += ';';
+    }
+    return out;
+}

@@ -1,0 +1,32 @@
+// xylint self-test corpus — D1 known-good.
+//
+// Two sanctioned shapes: (1) serialise through an explicitly sorted
+// view, so the emitted bytes cannot depend on hash order; (2) a
+// genuinely order-free reduction carrying the annotation escape hatch
+// with a justification.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+std::string serialise_sorted(const std::unordered_map<std::string, int>& m) {
+    std::vector<std::pair<std::string, int>> items(m.begin(), m.end());
+    std::sort(items.begin(), items.end());
+    std::string out;
+    for (const auto& [key, value] : items) { // ordered: vector, not the map
+        out += key;
+        out += '=';
+        out += std::to_string(value);
+        out += ';';
+    }
+    return out;
+}
+
+int total(const std::unordered_map<std::string, int>& m) {
+    int sum = 0;
+    // xylint: order-insensitive(commutative integer sum; no output ordering)
+    for (const auto& [key, value] : m)
+        sum += value;
+    return sum;
+}

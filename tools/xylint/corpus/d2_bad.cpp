@@ -1,0 +1,23 @@
+// xylint self-test corpus — D2 known-bad.
+//
+// Wall-clock, environment, and hardware entropy reads inside what claims
+// to be deterministic library code: three distinct D2 shapes, each of
+// which makes two runs of the same job diverge.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+double jittered_gain() {
+    const auto t = std::chrono::steady_clock::now(); // D2: wall clock
+    return static_cast<double>(t.time_since_epoch().count() % 7);
+}
+
+int env_tuned_order() {
+    const char* raw = std::getenv("XYSIG_ORDER"); // D2: environment read
+    return raw == nullptr ? 0 : 1;
+}
+
+unsigned hardware_seed() {
+    std::random_device rd; // D2: nondeterministic entropy source
+    return rd();
+}

@@ -1,0 +1,23 @@
+// xylint self-test corpus — D2 known-good.
+//
+// Deterministic equivalents: timing passed in by the caller (the
+// transport layer owns the clock), seeds explicit, and one justified
+// telemetry site using the annotation escape hatch.
+#include <chrono>
+#include <cstdint>
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+    // Clock *values* are data; only reading ::now() here would be D2.
+    return std::chrono::duration<double>(b - a).count();
+}
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+    return seed * 6364136223846793005ULL + (stream | 1ULL);
+}
+
+double telemetry_stamp() {
+    // xylint: nondeterminism-ok(progress telemetry only; never feeds results)
+    const auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,12 @@
+// xylint self-test corpus — E1 known-bad.
+//
+// Raw floating-point ==/!= with no statement of intent: whether this is
+// a rounding bug or a deliberate exact gate is invisible at the call
+// site, so xylint demands the annotation either way.
+bool same_gain(double a, double b) {
+    return a == b; // E1: unannotated float equality
+}
+
+bool changed(float before, float after) {
+    return before != after; // E1: unannotated float inequality
+}

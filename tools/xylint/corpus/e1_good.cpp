@@ -1,0 +1,15 @@
+// xylint self-test corpus — E1 known-good.
+//
+// The two sanctioned shapes: tolerance comparison for approximate
+// quantities, and an annotated exact comparison where exactness is the
+// point (sentinel values, bit-identity gates).
+#include <cmath>
+
+bool close(double a, double b, double tol) {
+    return std::fabs(a - b) <= tol; // ordering, not equality: fine
+}
+
+bool is_unset(double v) {
+    // xylint: exact-compare(0.0 is the explicit "unset" sentinel, assigned verbatim)
+    return v == 0.0;
+}

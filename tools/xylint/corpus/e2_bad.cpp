@@ -1,0 +1,14 @@
+// xylint self-test corpus — E2 known-bad.
+//
+// Implicit narrowing in signature-critical code: a double silently
+// truncated to int and a 64-bit size silently shortened — both change
+// values without any marker in the source.
+#include <cstddef>
+
+int truncate_gain(double gain) {
+    return gain; // E2: double -> int, implicit
+}
+
+int shorten_index(std::size_t index) {
+    return index; // E2: 64-bit -> 32-bit, implicit
+}

@@ -1,0 +1,17 @@
+// xylint self-test corpus — E2 known-good.
+//
+// The same conversions made explicit: every width change is visible and
+// greppable at the site.
+#include <cstddef>
+
+int truncate_gain(double gain) {
+    return static_cast<int>(gain);
+}
+
+int shorten_index(std::size_t index) {
+    return static_cast<int>(index);
+}
+
+double widen(int ticks) {
+    return static_cast<double>(ticks); // widening, still spelled out
+}

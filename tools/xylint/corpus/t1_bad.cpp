@@ -1,0 +1,11 @@
+// xylint self-test corpus — T1 known-bad.
+//
+// A detached thread outlives every bit-identity gate: its work can land
+// after results are emitted (or never), and nothing joins it before the
+// process exits.
+#include <thread>
+
+void fire_and_forget() {
+    std::thread worker([] { /* background work */ });
+    worker.detach(); // T1: fire-and-forget thread
+}

@@ -1,0 +1,11 @@
+// xylint self-test corpus — T1 known-good.
+//
+// The sanctioned shape: every spawned thread is joined before the scope
+// that owns it returns, so all side effects are ordered before the
+// owner's results.
+#include <thread>
+
+void run_and_join() {
+    std::thread worker([] { /* background work */ });
+    worker.join();
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# ctest/CI entry point for tools/xylint/xylint.py.
+#
+# The auditor needs python3 with the libclang bindings (clang.cindex) and
+# a loadable libclang. Where either is missing this exits 77 — the ctest
+# SKIP return code, exactly like scripts/check_thread_safety_lint.sh —
+# so developer machines without clang skip cleanly while the CI xylint
+# lane (which installs python3-clang) runs it blocking.
+#
+# Usage:
+#   tools/xylint/run_xylint.sh -p BUILD_DIR    lint the tree
+#   tools/xylint/run_xylint.sh --self-test     known-bad/known-good corpus
+# Extra arguments are passed through to xylint.py.
+set -u
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/../.." && pwd)
+python="${XYLINT_PYTHON:-python3}"
+
+if ! command -v "$python" >/dev/null 2>&1; then
+    echo "run_xylint: no python3 found — skipping" >&2
+    exit 77
+fi
+if ! "$python" -c 'import clang.cindex' >/dev/null 2>&1; then
+    echo "run_xylint: python clang bindings (clang.cindex) not found — skipping" >&2
+    exit 77
+fi
+
+# xylint.py itself exits 77 when the bindings import but libclang cannot
+# be loaded, so every unavailability path reports SKIP, never FAIL.
+exec "$python" "$root/tools/xylint/xylint.py" "$@"
