@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/golden_cache.h"
+#include "core/trace_cache.h"
 
 namespace xysig::core {
 
@@ -18,6 +19,32 @@ SignaturePipeline::SignaturePipeline(monitor::MonitorBank bank,
     XYSIG_EXPECTS(bank_.size() >= 1);
     XYSIG_EXPECTS(options_.samples_per_period >= 64);
     XYSIG_EXPECTS(options_.noise_sigma >= 0.0);
+    refresh_stimulus_trace();
+}
+
+void SignaturePipeline::set_fast_math(bool enable) {
+    if (options_.fast_math == enable)
+        return;
+    options_.fast_math = enable;
+    // The stored golden was computed under the other mode; comparing an
+    // observation against it would mix modes, which the keying scheme
+    // exists to forbid. Callers re-set it (the sweep service does so per
+    // job anyway).
+    golden_.reset();
+    refresh_stimulus_trace();
+}
+
+void SignaturePipeline::refresh_stimulus_trace() {
+    const SampleMode mode = sample_mode();
+    stimulus_trace_ = StimulusTraceCache::instance().find_or_compute(
+        stimulus_trace_key(stimulus_, options_.samples_per_period, mode), [&] {
+            std::vector<double> trace;
+            SampledSignal::sample_waveform_into(stimulus_, 0.0,
+                                                stimulus_.period(),
+                                                options_.samples_per_period,
+                                                trace, mode);
+            return trace;
+        });
 }
 
 XyTrace SignaturePipeline::trace(const filter::Cut& cut, Rng* noise_rng) const {
@@ -71,6 +98,11 @@ std::string SignaturePipeline::golden_cache_key(const filter::Cut& cut) const {
     key += "}|spp=" + std::to_string(options_.samples_per_period);
     key += "|ck=";
     key += options_.compiled_kernels ? '1' : '0';
+    // Goldens from different sampling modes differ within the fast-math
+    // ULP tolerance and must never alias (signatures are only comparable
+    // within one mode).
+    key += "|fm=";
+    key += options_.fast_math ? '1' : '0';
     return key;
 }
 
@@ -99,15 +131,32 @@ const capture::Chronogram& SignaturePipeline::golden() const {
 }
 
 double SignaturePipeline::ndf_of(const filter::Cut& cut, Rng* noise_rng) const {
-    return ndf(chronogram(cut, noise_rng), golden());
+    // Delegates to the scratch path (bit-identical to the virtual
+    // chronogram route by the evaluate() contract) so every NDF — one-shot
+    // or batched — flows through the shared stimulus trace and the
+    // fast-math plumbing.
+    NdfScratch scratch;
+    return ndf_of(cut, scratch, noise_rng);
 }
 
 capture::Chronogram SignaturePipeline::ideal_chronogram(const filter::Cut& cut,
                                                         NdfScratch& scratch,
                                                         Rng* noise_rng) const {
     double dt = 0.0;
-    cut.respond_into(stimulus_, options_.samples_per_period, scratch.xs_,
-                     scratch.ys_, dt);
+    if (cut.x_is_stimulus()) {
+        // x is the sampled stimulus bit for bit (the cut promised), so
+        // fill it from the shared immutable trace — sampled once per
+        // (stimulus, spp, mode) process-wide — and ask the cut for y
+        // only. This is the members×samples transcendental saving; in
+        // exact mode it is bit-identical to respond_into by construction.
+        const std::vector<double>& trace = *stimulus_trace_;
+        scratch.xs_.assign(trace.begin(), trace.end());
+        cut.respond_y_into(stimulus_, options_.samples_per_period,
+                           scratch.ys_, dt, sample_mode());
+    } else {
+        cut.respond_into(stimulus_, options_.samples_per_period, scratch.xs_,
+                         scratch.ys_, dt);
+    }
     if (noise_rng != nullptr && options_.noise_sigma > 0.0) {
         // Same draw order as XyTrace::add_white_noise: all of x, then all
         // of y, so noisy results stay bit-identical to the allocating path.
@@ -120,7 +169,8 @@ capture::Chronogram SignaturePipeline::ideal_chronogram(const filter::Cut& cut,
         // Fused zoning -> run-length path: one devirtualised monitor pass
         // per bit-plane, then RLE over the code buffer. Bit-identical to
         // encode_events (tests/kernels pin this).
-        compiled_bank_.codes_into(scratch.xs_, scratch.ys_, scratch.codes_);
+        compiled_bank_.codes_into(scratch.xs_, scratch.ys_, scratch.codes_,
+                                  sample_mode());
         capture::Chronogram::encode_codes(scratch.codes_, dt, scratch.events_);
     } else {
         capture::Chronogram::encode_events(scratch.xs_, scratch.ys_, dt, bank_,

@@ -31,6 +31,22 @@ struct PipelineOptions {
     /// own bit identity is gated separately (bench_kernels stage 1 and
     /// tests/kernels compare it against the per-sample value() loop).
     bool compiled_kernels = true;
+    /// Opt-in SIMD math (kernels/vecmath.h): tone-table sines on the
+    /// NDF/golden path evaluate through the batched polynomial kernels —
+    /// each sine within 2 ULP of the exact value (gate-enforced by
+    /// bench_kernels and tests/kernels/test_vecmath_differential) — and,
+    /// when compiled_kernels is also on, the EKV comparators zone through
+    /// the batched softplus kernel (within 4 ULP of correctly rounded).
+    /// Results are bit-identical across ISAs but NOT to exact mode, so
+    /// signatures computed under different modes must never be compared
+    /// (golden cache keys and the trace cache key this flag for that
+    /// reason). Scope: closed-form sampling and zoning on the
+    /// scratch/NDF/golden path for cuts with x_is_stimulus(); SPICE/
+    /// transient cuts are solver-driven and keep exact sampling, as do
+    /// PWL/pulse/custom waveforms and the virtual observation APIs
+    /// (trace()/chronogram()/capture()), which always stay exact.
+    /// Default off: exact mode is the paper's contract.
+    bool fast_math = false;
 };
 
 /// Reusable workspace for repeated NDF evaluations: the trace sample
@@ -88,10 +104,26 @@ public:
 
     /// The cache key set_golden files the ideal golden chronogram under:
     /// exact fingerprints of (golden cut, monitor bank, stimulus,
-    /// samples_per_period, compiled_kernels). Empty when the cut or a
-    /// monitor cannot produce an exact fingerprint — set_golden then
-    /// computes without caching.
+    /// samples_per_period, compiled_kernels, fast_math). Empty when the
+    /// cut or a monitor cannot produce an exact fingerprint — set_golden
+    /// then computes without caching.
     [[nodiscard]] std::string golden_cache_key(const filter::Cut& cut) const;
+
+    /// Flips options().fast_math in place (the sweep service applies the
+    /// per-job wire flag through this). Changing the mode drops any stored
+    /// golden — it was computed under the other mode and comparing across
+    /// modes is exactly what the keying scheme exists to prevent — so
+    /// callers must set_golden() again before evaluating.
+    void set_fast_math(bool enable);
+
+    /// The immutable per-(stimulus, spp, mode) trace shared through the
+    /// process-wide StimulusTraceCache; every x_is_stimulus() member of a
+    /// job reads this one buffer instead of re-sampling the stimulus.
+    /// Exposed for tests and the bench probes.
+    [[nodiscard]] const std::shared_ptr<const std::vector<double>>&
+    stimulus_trace() const noexcept {
+        return stimulus_trace_;
+    }
     [[nodiscard]] bool has_golden() const noexcept { return golden_.has_value(); }
     [[nodiscard]] const capture::Chronogram& golden() const;
 
@@ -129,10 +161,20 @@ private:
                                                        NdfScratch& scratch,
                                                        Rng* noise_rng) const;
 
+    [[nodiscard]] SampleMode sample_mode() const noexcept {
+        return options_.fast_math ? SampleMode::fast_math : SampleMode::exact;
+    }
+
+    /// (Re)fetches stimulus_trace_ from the StimulusTraceCache for the
+    /// current (stimulus, samples_per_period, mode); called at
+    /// construction and on set_fast_math.
+    void refresh_stimulus_trace();
+
     monitor::MonitorBank bank_;
     kernels::CompiledMonitorBank compiled_bank_;
     MultitoneWaveform stimulus_;
     PipelineOptions options_;
+    std::shared_ptr<const std::vector<double>> stimulus_trace_;
     std::optional<capture::Chronogram> golden_;
 };
 

@@ -18,6 +18,19 @@ void Cut::respond_into(const MultitoneWaveform& stimulus,
     dt = tr.dt();
 }
 
+void Cut::respond_y_into(const MultitoneWaveform& stimulus,
+                         std::size_t samples_per_period, std::vector<double>& ys,
+                         double& dt, SampleMode /*mode*/) const {
+    // Correct-but-unaccelerated fallback: evaluate both channels and keep
+    // y. Cuts that advertise x_is_stimulus() should override this; the
+    // exact-mode values still match respond_into's y channel bit for bit,
+    // which is all the pipeline's trace-cache path requires. The mode is
+    // deliberately dropped — a cut without a closed-form y has nothing
+    // fast_math may legally change.
+    thread_local std::vector<double> xs_discard;
+    respond_into(stimulus, samples_per_period, xs_discard, ys, dt);
+}
+
 BehaviouralCut::BehaviouralCut(Biquad filter) : filter_(std::move(filter)) {}
 
 XyTrace BehaviouralCut::respond(const MultitoneWaveform& stimulus,
@@ -38,10 +51,20 @@ void BehaviouralCut::respond_into(const MultitoneWaveform& stimulus,
                                   double& dt) const {
     XYSIG_EXPECTS(samples_per_period >= 16);
     const double period = stimulus.period();
-    const MultitoneWaveform out = filter_.steady_state_output(stimulus);
     SampledSignal::sample_waveform_into(stimulus, 0.0, period, samples_per_period,
                                         xs);
-    SampledSignal::sample_waveform_into(out, 0.0, period, samples_per_period, ys);
+    respond_y_into(stimulus, samples_per_period, ys, dt, SampleMode::exact);
+}
+
+void BehaviouralCut::respond_y_into(const MultitoneWaveform& stimulus,
+                                    std::size_t samples_per_period,
+                                    std::vector<double>& ys, double& dt,
+                                    SampleMode mode) const {
+    XYSIG_EXPECTS(samples_per_period >= 16);
+    const double period = stimulus.period();
+    const MultitoneWaveform out = filter_.steady_state_output(stimulus);
+    SampledSignal::sample_waveform_into(out, 0.0, period, samples_per_period, ys,
+                                        mode);
     dt = period / static_cast<double>(samples_per_period);
 }
 

@@ -53,6 +53,29 @@ public:
                               std::vector<double>& xs, std::vector<double>& ys,
                               double& dt) const;
 
+    /// Capability flag for the stimulus trace cache: true when the x
+    /// channel of respond()/respond_into() is exactly the sampled
+    /// stimulus (bit for bit, one period from t = 0). The pipeline then
+    /// fills x from a shared immutable trace sampled once per job and
+    /// asks only for y via respond_y_into() — eliminating one stimulus
+    /// sampling per member. BehaviouralCut qualifies (x = stimulus by
+    /// construction); SpiceCut does not (its x is a solver-produced node
+    /// voltage).
+    [[nodiscard]] virtual bool x_is_stimulus() const noexcept { return false; }
+
+    /// y channel only, for cuts with x_is_stimulus(): writes the y
+    /// samples (resized to samples_per_period) and sets dt, bit-identical
+    /// to the y channel respond_into() produces under the same mode. The
+    /// default falls back to respond_into() and discards x, so a custom
+    /// cut that sets the capability flag without overriding this stays
+    /// correct (merely unaccelerated). mode selects exact or fast_math
+    /// sine evaluation; implementations without a closed-form y must
+    /// ignore it (fast_math is a no-op outside tone-table sampling).
+    virtual void respond_y_into(const MultitoneWaveform& stimulus,
+                                std::size_t samples_per_period,
+                                std::vector<double>& ys, double& dt,
+                                SampleMode mode) const;
+
     /// Human-readable description for reports.
     [[nodiscard]] virtual std::string description() const = 0;
 
@@ -73,6 +96,10 @@ public:
     void respond_into(const MultitoneWaveform& stimulus,
                       std::size_t samples_per_period, std::vector<double>& xs,
                       std::vector<double>& ys, double& dt) const override;
+    [[nodiscard]] bool x_is_stimulus() const noexcept override { return true; }
+    void respond_y_into(const MultitoneWaveform& stimulus,
+                        std::size_t samples_per_period, std::vector<double>& ys,
+                        double& dt, SampleMode mode) const override;
     [[nodiscard]] std::string description() const override;
     [[nodiscard]] std::string cache_key() const override;
 

@@ -1,10 +1,21 @@
 #include "kernels/compiled_monitor_bank.h"
 
+#include <cmath>
+#include <vector>
+
 #include "common/contracts.h"
 #include "common/math_util.h"
+#include "kernels/vecmath.h"
 #include "monitor/mos_boundary.h"
 
 namespace xysig::kernels {
+
+namespace {
+/// Overflow guard for the fast-zoning trace scan: excursions beyond this
+/// (or NaN) are physically meaningless for a comparator input and force
+/// the exact path.
+constexpr double kMaxZoneInput = 1e300;
+} // namespace
 
 CompiledMonitorBank CompiledMonitorBank::compile(const monitor::MonitorBank& bank) {
     CompiledMonitorBank out;
@@ -148,9 +159,96 @@ double CompiledMonitorBank::mos_h(const MosMonitor& m, const double* leg_values)
     return m.orientation * diff;
 }
 
+bool CompiledMonitorBank::fast_mos_codes(const double* px, const double* py,
+                                         std::size_t n, unsigned* out) const {
+    bool any_ekv = false;
+    for (const MosLeg& leg : legs_)
+        any_ekv = any_ekv || leg.kind == LegKind::ekv;
+    if (!any_ekv)
+        return false; // nothing to batch; the exact loop is as fast
+
+    // One pass over the trace: the softplus arguments are bounded by the
+    // peak |vgs|, so a single max-excursion scan (NaN-rejecting: the
+    // negated comparison is false for NaN) proves the whole batch stays
+    // inside the vecmath domain. Deterministic in the trace alone, so
+    // every process takes the same path for the same job.
+    double max_x = 0.0;
+    double max_y = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double ax = std::fabs(px[i]);
+        const double ay = std::fabs(py[i]);
+        if (!(ax <= kMaxZoneInput) || !(ay <= kMaxZoneInput))
+            return false;
+        max_x = ax > max_x ? ax : max_x;
+        max_y = ay > max_y ? ay : max_y;
+    }
+    for (const MosLeg& leg : legs_) {
+        if (leg.kind != LegKind::ekv)
+            continue;
+        const double vgs_max = leg.x_input ? max_x : max_y;
+        const double vp_max =
+            (vgs_max + std::fabs(leg.vt0)) / std::fabs(leg.n_slope);
+        const double arg_bound =
+            0.5 * ((vp_max + std::fabs(leg.vds)) / kThermalVoltage300K);
+        if (!(arg_bound <= vecmath::kMaxExpArgument))
+            return false;
+    }
+
+    // Per-thread scratch: one value lane per unique leg, plus the packed
+    // (forward | reverse) softplus argument pair of the EKV legs.
+    thread_local std::vector<double> values;
+    thread_local std::vector<double> args;
+    thread_local std::vector<double> sp;
+    values.resize(legs_.size() * n);
+    args.resize(2 * n);
+    sp.resize(2 * n);
+    for (std::size_t u = 0; u < legs_.size(); ++u) {
+        const MosLeg& leg = legs_[u];
+        double* const lv = values.data() + u * n;
+        if (leg.kind != LegKind::ekv) {
+            // level1/generic legs are cheap algebra (or rare); the scalar
+            // evaluator is already exact and branch-predictable.
+            for (std::size_t i = 0; i < n; ++i)
+                lv[i] = leg_value(leg, px[i], py[i]);
+            continue;
+        }
+        // Same argument expressions (and association) as leg_value's EKV
+        // case; only the softplus evaluation changes.
+        for (std::size_t i = 0; i < n; ++i) {
+            const double vgs = leg.x_input ? px[i] : py[i];
+            const double vp = (vgs - leg.vt0) / leg.n_slope;
+            args[i] = 0.5 * (vp / kThermalVoltage300K);
+            args[n + i] = 0.5 * ((vp - leg.vds) / kThermalVoltage300K);
+        }
+        vecmath::softplus_batch(args.data(), sp.data(), 2 * n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double sf = sp[i];
+            const double sr = sp[n + i];
+            lv[i] = (leg.ispec * (sf * sf - sr * sr)) * leg.clm;
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        unsigned bits = 0;
+        for (const MosMonitor& m : mos_) {
+            // Same association as mos_h, reading the per-leg lanes.
+            const auto term = [&](const MosTerm& t) {
+                return t.is_constant ? t.constant : values[t.leg * n + i];
+            };
+            const double diff = term(m.terms[0]) + term(m.terms[1]) -
+                                term(m.terms[2]) - term(m.terms[3]) +
+                                m.offset_current;
+            bits |= (m.orientation * diff > 0.0) ? m.mask : 0u;
+        }
+        out[i] |= bits;
+    }
+    return true;
+}
+
 void CompiledMonitorBank::codes_into(std::span<const double> xs,
                                      std::span<const double> ys,
-                                     std::vector<unsigned>& codes) const {
+                                     std::vector<unsigned>& codes,
+                                     SampleMode mode) const {
     XYSIG_EXPECTS(xs.size() == ys.size());
     XYSIG_EXPECTS(n_monitors_ > 0);
     const std::size_t n = xs.size();
@@ -169,7 +267,10 @@ void CompiledMonitorBank::codes_into(std::span<const double> xs,
             out[i] |= (a * px[i] + b * py[i] + c > 0.0) ? mask : 0u;
     }
 
-    if (!mos_.empty()) {
+    if (!mos_.empty() && mode == SampleMode::fast_math &&
+        fast_mos_codes(px, py, n, out)) {
+        // EKV sub-bank handled by the batched pass above.
+    } else if (!mos_.empty()) {
         // One fused pass for the whole MOS sub-bank: evaluate each unique
         // leg current once, then run every comparator off the shared
         // values.

@@ -24,6 +24,16 @@
 /// free of virtual dispatch for every compilable monitor. Codes are
 /// bit-identical to MonitorBank::code at every sample, whatever the mix of
 /// compiled and fallback monitors.
+///
+/// Under SampleMode::fast_math the EKV sub-bank switches to the batched
+/// vecmath softplus kernel: the drain-current softplus pair of every
+/// unique leg is evaluated over the whole trace with the SIMD polynomial
+/// instead of libm's exp+log1p. Codes may then differ from the exact
+/// path for samples sitting within the softplus tolerance of a zone
+/// boundary — the same opt-in contract as fast_math sampling. The fast
+/// pass falls back to the exact loop (deterministically, from the trace
+/// alone) when a trace excursion would push a softplus argument outside
+/// the vecmath domain, so out-of-contract inputs never reach the kernel.
 
 #include <array>
 #include <cstddef>
@@ -32,6 +42,7 @@
 #include <vector>
 
 #include "monitor/monitor_bank.h"
+#include "signal/sample_mode.h"
 #include "spice/mosfet.h"
 
 namespace xysig::kernels {
@@ -65,10 +76,14 @@ public:
     }
 
     /// Zone code of every (x, y) sample, one monitor pass at a time; codes
-    /// is resized to xs.size(). Bit-identical to calling MonitorBank::code
-    /// per sample. The bank must be non-empty.
+    /// is resized to xs.size(). In exact mode (the default) bit-identical
+    /// to calling MonitorBank::code per sample. fast_math batches the EKV
+    /// softplus pairs through vecmath (see the file comment); linear and
+    /// fallback monitors always take the exact path. The bank must be
+    /// non-empty.
     void codes_into(std::span<const double> xs, std::span<const double> ys,
-                    std::vector<unsigned>& codes) const;
+                    std::vector<unsigned>& codes,
+                    SampleMode mode = SampleMode::exact) const;
 
     /// Single-point code (spot checks / tests); same bits as codes_into.
     [[nodiscard]] unsigned code(double x, double y) const;
@@ -126,6 +141,12 @@ private:
     [[nodiscard]] static double leg_value(const MosLeg& leg, double x, double y);
     [[nodiscard]] static double mos_h(const MosMonitor& m,
                                       const double* leg_values);
+    /// The fast_math MOS pass: batched softplus legs, then the comparator
+    /// sweep. Returns false — having written nothing — when no EKV leg
+    /// exists or a trace excursion leaves the vecmath softplus domain;
+    /// the caller then runs the exact loop.
+    bool fast_mos_codes(const double* px, const double* py, std::size_t n,
+                        unsigned* out) const;
 
     std::size_t n_monitors_ = 0;
     std::vector<LinearMonitor> linear_;

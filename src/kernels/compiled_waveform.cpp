@@ -4,6 +4,7 @@
 
 #include "common/contracts.h"
 #include "common/math_util.h"
+#include "kernels/vecmath.h"
 
 namespace xysig::kernels {
 
@@ -49,7 +50,8 @@ bool CompiledWaveform::compile_into(const Waveform& w, CompiledWaveform& out) {
 }
 
 void CompiledWaveform::sample_into(double t0, double duration, std::size_t n,
-                                   std::vector<double>& buffer) const {
+                                   std::vector<double>& buffer,
+                                   SampleMode mode) const {
     XYSIG_EXPECTS(duration > 0.0);
     XYSIG_EXPECTS(n >= 2);
     const double dt = duration / static_cast<double>(n);
@@ -57,6 +59,19 @@ void CompiledWaveform::sample_into(double t0, double duration, std::size_t n,
     double* const out = buffer.data();
 
     const std::size_t n_tones = amplitude_.size();
+
+    if (mode == SampleMode::fast_math && n_tones > 0) {
+        const vecmath::ToneTable table{amplitude_.data(), omega_.data(),
+                                       phase_.data(), n_tones, offset_};
+        if (vecmath::tones_in_range(table, t0, dt, n)) {
+            // Same argument arithmetic and accumulation order as the loop
+            // below; only the sine evaluation differs (see vecmath.h for
+            // the 2-ULP contract). Out-of-range arguments fall through to
+            // the exact path so the mode never changes the domain.
+            vecmath::sample_multitone(table, t0, dt, n, out);
+            return;
+        }
+    }
     const double off = offset_;
     const double* const amp = amplitude_.data();
     const double* const omg = omega_.data();

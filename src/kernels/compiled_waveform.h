@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "signal/sample_mode.h"
 #include "signal/waveform.h"
 
 namespace xysig::kernels {
@@ -41,8 +42,16 @@ public:
     /// Samples [t0, t0 + duration) with n samples (endpoint excluded) into
     /// buffer (resized to n). Same sampling arithmetic as
     /// SampledSignal::sample_waveform_into: t_i = t0 + i * (duration / n).
+    ///
+    /// SampleMode::exact (the default) keeps the libm path, bit-identical
+    /// to the virtual loop. SampleMode::fast_math evaluates the sines
+    /// through vecmath::sample_multitone — within 2 ULP per tone of the
+    /// exact value, bit-identical across ISAs — falling back to the exact
+    /// path when an argument would leave vecmath's documented range (and
+    /// for pure-DC tables, where both paths agree bit for bit anyway).
     void sample_into(double t0, double duration, std::size_t n,
-                     std::vector<double>& buffer) const;
+                     std::vector<double>& buffer,
+                     SampleMode mode = SampleMode::exact) const;
 
     /// Scalar evaluation (tests / spot checks); bit-identical to the source
     /// waveform's value(t).

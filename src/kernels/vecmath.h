@@ -1,0 +1,124 @@
+#ifndef XYSIG_KERNELS_VECMATH_H
+#define XYSIG_KERNELS_VECMATH_H
+
+/// \file vecmath.h
+/// Batched polynomial math layer (the fast_math kernels).
+///
+/// sin/exp over contiguous lanes of doubles, evaluated with a fixed
+/// polynomial pipeline (Cody-Waite range reduction with exact-product
+/// constant splits, then a minimax polynomial) instead of libm. The same
+/// generic kernel is instantiated for scalar, SSE2, AVX2 and NEON packs,
+/// so every ISA executes the identical IEEE-754 operation sequence per
+/// lane and the results are **bit-identical across ISAs** — the dispatch
+/// width changes throughput, never values. The TUs implementing this
+/// layer are compiled with -ffp-contract=off so no target fuses a
+/// multiply-add the others round twice.
+///
+/// Accuracy contract (gate-enforced by bench_kernels and the
+/// differential harness): for arguments within ±kMaxArgument,
+/// sin_batch/exp_batch are within 2 ULP of the correctly rounded result.
+/// Results are NOT bit-identical to libm — that is the whole point of
+/// the opt-in PipelineOptions::fast_math mode; the exact path stays
+/// default and untouched.
+///
+/// Out-of-range arguments are the caller's responsibility: use
+/// tones_in_range / args_in_range before the batched calls and fall back
+/// to the exact path when they fail. NaN/Inf lanes are outside the
+/// contract.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xysig::kernels::vecmath {
+
+/// Instruction sets the dispatcher can select. scalar is always
+/// available and is the reference build of the polynomial.
+enum class Isa : std::uint8_t { scalar = 0, sse2 = 1, avx2 = 2, neon = 3 };
+
+[[nodiscard]] const char* isa_name(Isa isa) noexcept;
+
+/// True when this process can execute `isa` (scalar: always; sse2/avx2:
+/// x86-64 with the CPUID bit; neon: aarch64).
+[[nodiscard]] bool isa_supported(Isa isa) noexcept;
+
+/// Widest supported ISA on this CPU (the default dispatch choice).
+[[nodiscard]] Isa native_isa() noexcept;
+
+/// ISA the next batch call will use: the forced one if set, else native.
+[[nodiscard]] Isa active_isa() noexcept;
+
+/// Test hook: pin dispatch to one ISA (e.g. scalar, to prove the SIMD
+/// lanes are bit-identical to the reference build). Throws InvalidInput
+/// if the CPU cannot execute it. Affects every thread.
+void force_isa(Isa isa);
+void clear_forced_isa() noexcept;
+
+/// Documented argument range for the 2-ULP contract. The Cody-Waite
+/// quotient stays far below the exact-product limit of the constant
+/// splits at this bound (see vecmath_detail.h).
+inline constexpr double kMaxSinArgument = 1048576.0; // 2^20 rad
+inline constexpr double kMaxExpArgument = 700.0;     // exp(708) overflows
+
+/// out[i] = sin(x[i]) for i in [0, n). In/out may alias elementwise.
+void sin_batch(const double* x, double* out, std::size_t n);
+
+/// out[i] = exp(x[i]) for i in [0, n).
+void exp_batch(const double* x, double* out, std::size_t n);
+
+/// out[i] = ln(x[i]) for i in [0, n). Contract: every x[i] a positive
+/// NORMAL double (>= 2^-1022, finite); subnormals/zero/inf/NaN are
+/// outside the contract. Within 2 ULP (the fdlibm kernel, de-branched).
+void log_batch(const double* x, double* out, std::size_t n);
+
+/// out[i] = ln(1 + exp(x[i])) for i in [0, n). Contract: |x[i]| <=
+/// kMaxExpArgument. Within 4 ULP of the correctly rounded softplus
+/// (gate-checked against a long-double reference by the differential
+/// harness; NOT bit-identical to common/math_util.h softplus, whose
+/// own |x| > 30 branches drop the second-order term). Like every
+/// vecmath kernel, bit-identical across ISAs. This is the EKV drain
+/// current's hot function — the fast_math zoning path batches it.
+void softplus_batch(const double* x, double* out, std::size_t n);
+
+/// One lane of the reference polynomial (exactly what the batch calls
+/// compute per lane, regardless of ISA). Exposed so the differential
+/// harness can pin batch == scalar-reference bit for bit.
+[[nodiscard]] double sin_scalar(double x) noexcept;
+[[nodiscard]] double exp_scalar(double x) noexcept;
+[[nodiscard]] double log_scalar(double x) noexcept;
+[[nodiscard]] double softplus_scalar(double x) noexcept;
+
+/// Non-owning view of a flattened tone table (CompiledWaveform layout):
+/// value(t) = offset + sum_k amplitude[k] * sin(omega[k] * t + phase[k]).
+struct ToneTable {
+    const double* amplitude = nullptr;
+    const double* omega = nullptr;
+    const double* phase = nullptr;
+    std::size_t tones = 0;
+    double offset = 0.0;
+};
+
+/// True when every sine argument |omega_k * t + phase_k| over the grid
+/// t_i = t0 + i*dt, i in [0, n), stays within kMaxSinArgument. Callers
+/// must fall back to the exact path when this fails.
+[[nodiscard]] bool tones_in_range(const ToneTable& tt, double t0, double dt,
+                                  std::size_t n) noexcept;
+
+/// Fused fast sampling pass: out[i] = offset + sum_k amp_k *
+/// sin(omega_k * (t0 + i*dt) + phase_k) using sin_batch. The argument
+/// arithmetic and the accumulation order (offset, then tones in
+/// declaration order) match CompiledWaveform::sample_into exactly; only
+/// the sine evaluation differs (polynomial instead of libm). `out` must
+/// hold n doubles. Callers must have checked tones_in_range.
+void sample_multitone(const ToneTable& tt, double t0, double dt,
+                      std::size_t n, double* out);
+
+/// Distance in representable doubles between a and b (0 when bitwise
+/// equal; UINT64_MAX when either is NaN). ±0 are one ULP apart.
+[[nodiscard]] std::uint64_t ulp_distance(double a, double b) noexcept;
+
+/// Spacing between |x| and the next representable double above it.
+[[nodiscard]] double ulp_of(double x) noexcept;
+
+} // namespace xysig::kernels::vecmath
+
+#endif // XYSIG_KERNELS_VECMATH_H

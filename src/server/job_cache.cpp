@@ -32,6 +32,10 @@ std::string pipeline_fingerprint(const core::SignaturePipeline& pipe) {
     fp += "}|spp=" + std::to_string(opts.samples_per_period);
     fp += "|ck=";
     fp += opts.compiled_kernels ? '1' : '0';
+    // Results from different sampling modes differ within the fast-math
+    // ULP tolerance; they must never be served for each other.
+    fp += "|fm=";
+    fp += opts.fast_math ? '1' : '0';
     return fp;
 }
 

@@ -103,7 +103,8 @@ JobScheduler::JobScheduler(SweepService& service, Options options)
       cache_(std::max<std::size_t>(1, options.cache_capacity)),
       pipeline_fp_(options.cache_capacity == 0
                        ? std::string()
-                       : pipeline_fingerprint(service.pipeline())) {
+                       : pipeline_fingerprint(service.pipeline())),
+      base_fast_math_(service.pipeline().options().fast_math) {
     // The prefetch pipeline is copied BEFORE any job runs: set_golden
     // mutates the service pipeline per job, and copying a pipeline that a
     // worker is mutating would race. A construction-time copy shares the
@@ -152,7 +153,18 @@ std::string JobScheduler::job_cache_key(const WireJob& wire) const {
         return {}; // nothing to serve; plan probes always hit the service
     if (wire.verify_serial || wire.cancel_after != 0)
         return {}; // test instruments must exercise the real engine
-    return pipeline_fp_ + "|job{" + wire.universe_key + "}";
+    // Key the EFFECTIVE sampling mode (the job's pinned flag, falling back
+    // to the service pipeline's construction-time mode): pipeline_fp_ only
+    // carries the base flag, and serving an exact job from a fast_math
+    // job's results (or vice versa) would hand out values that differ
+    // within the ULP tolerance.
+    std::string key = pipeline_fp_;
+    key += "|jfm=";
+    key += wire.job.fast_math.value_or(base_fast_math_) ? '1' : '0';
+    key += "|job{";
+    key += wire.universe_key;
+    key += '}';
+    return key;
 }
 
 JobHandle JobScheduler::submit(WireJob wire, SubmitOptions opts) {
@@ -508,6 +520,11 @@ void JobScheduler::prefetch_main() {
         // on result bits. (SPICE goldens have no cache key, so there is
         // nothing to warm; those records are filtered at submit.)
         try {
+            // Match the job's effective sampling mode first: golden-cache
+            // keys embed the fast_math flag, so warming under the wrong
+            // mode would insert a key nobody looks up.
+            prefetch_pipeline_->set_fast_math(
+                rec->wire.job.fast_math.value_or(base_fast_math_));
             prefetch_pipeline_->set_golden(
                 filter::BehaviouralCut(core::paper_biquad()));
             MutexLock lock(mutex_);

@@ -280,6 +280,12 @@ JobSummary SweepService::run(const SweepJob& job,
     ctx.pipeline = &pipeline_;
     ctx.cancel = cancel;
 
+    // Pin the sampling mode before the golden is resolved so the golden
+    // and every member of this job evaluate under the same mode (the
+    // golden cache and the shared stimulus trace are both keyed on it).
+    if (job.fast_math.has_value())
+        pipeline_.set_fast_math(*job.fast_math);
+
     // Resolve the universe view and the golden CUT. The goldens built here
     // go through SignaturePipeline::set_golden, i.e. through the process-wide
     // GoldenSignatureCache: repeat jobs over the same fingerprint reuse one

@@ -143,6 +143,15 @@ public:
     /// Members per work unit for this job; 0 = the service default.
     std::size_t shard_size = 0;
 
+    /// Per-job sampling mode: set to pin the pipeline's fast_math flag for
+    /// this job (run() applies it before resolving the golden, so the
+    /// golden and every member evaluate under one mode); nullopt inherits
+    /// whatever mode the service's pipeline is currently configured with.
+    /// Wire jobs always pin it — the `fast_math` job field defaults to
+    /// false under the tolerant-reader rule — so a queued mixed-mode
+    /// workload can never leak one job's mode into the next.
+    std::optional<bool> fast_math;
+
 private:
     friend class SweepService;
 

@@ -181,6 +181,10 @@ WireJob parse_wire_job(const JsonValue& v) {
     wire.cancel_after = index_or(v, "cancel_after", 0);
     wire.emit_signatures = v.bool_or("emit_signatures", true);
     wire.verify_serial = v.bool_or("verify_serial", false);
+    // Tolerant-reader default: absent means exact mode. Always pinned (not
+    // inherit-from-service) so one client's fast_math job can never change
+    // the mode a later exact job evaluates under.
+    wire.job.fast_math = v.bool_or("fast_math", false);
     if (v.has("priority")) {
         // Signed, unlike index_field: low-priority background jobs are
         // spelled with negative numbers.

@@ -1,0 +1,29 @@
+#ifndef XYSIG_SIGNAL_SAMPLE_MODE_H
+#define XYSIG_SIGNAL_SAMPLE_MODE_H
+
+/// \file sample_mode.h
+/// Sampling-mode selector threaded from PipelineOptions down to the
+/// stimulus sampling kernels.
+
+#include <cstdint>
+
+namespace xysig {
+
+/// How closed-form waveforms are sampled.
+///
+/// exact (the default) is the paper's contract: libm sines, bit-identical
+/// across every code path, machine and build of this library — the only
+/// mode whose signatures are comparable artifacts.
+///
+/// fast_math routes multitone sampling through the batched polynomial
+/// kernels in kernels/vecmath.h: every sine is within 2 ULP of the
+/// correctly rounded value (gate-enforced), and results are bit-identical
+/// across ISAs (scalar/SSE2/AVX2/NEON) — but NOT bit-identical to exact
+/// mode, so signatures from the two modes must never be compared.
+/// Waveforms without a tone-table form (PWL, pulse, custom) ignore the
+/// mode entirely: fast_math is a no-op for them by contract.
+enum class SampleMode : std::uint8_t { exact = 0, fast_math = 1 };
+
+} // namespace xysig
+
+#endif // XYSIG_SIGNAL_SAMPLE_MODE_H

@@ -26,17 +26,20 @@ SampledSignal SampledSignal::from_waveform(const Waveform& w, double t0,
 
 void SampledSignal::sample_waveform_into(const Waveform& w, double t0,
                                          double duration, std::size_t n,
-                                         std::vector<double>& buffer) {
+                                         std::vector<double>& buffer,
+                                         SampleMode mode) {
     XYSIG_EXPECTS(duration > 0.0);
     XYSIG_EXPECTS(n >= 2);
     // Closed-form waveforms sample through the flattened tone-table kernel
-    // (fused branch-free pass, no per-sample virtual dispatch); the values
-    // are bit-identical to the loop below, which remains the path for
-    // PWL/pulse/custom waveforms. The per-thread scratch keeps the batch
-    // engine's two recompilations per CUT evaluation allocation-free.
+    // (fused branch-free pass, no per-sample virtual dispatch); in exact
+    // mode the values are bit-identical to the loop below, which remains
+    // the path for PWL/pulse/custom waveforms (those ignore `mode` — the
+    // fast_math polynomial only ever replaces tone-table sines). The
+    // per-thread scratch keeps the batch engine's two recompilations per
+    // CUT evaluation allocation-free.
     thread_local kernels::CompiledWaveform compiled;
     if (kernels::CompiledWaveform::compile_into(w, compiled)) {
-        compiled.sample_into(t0, duration, n, buffer);
+        compiled.sample_into(t0, duration, n, buffer, mode);
         return;
     }
     const double dt = duration / static_cast<double>(n);

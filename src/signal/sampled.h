@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "signal/sample_mode.h"
 #include "signal/waveform.h"
 
 namespace xysig {
@@ -30,9 +31,15 @@ public:
     /// Same sampling arithmetic as from_waveform, but written into an
     /// existing buffer (resized to n). Batch evaluation uses this to reuse
     /// per-thread trace buffers instead of reallocating them per sample.
+    ///
+    /// mode selects the sine evaluation for closed-form waveforms (see
+    /// SampleMode). Waveforms that do not compile into a tone table
+    /// (PWL, pulse, custom) always take the exact virtual loop — for
+    /// them fast_math is a no-op by contract.
     static void sample_waveform_into(const Waveform& w, double t0,
                                      double duration, std::size_t n,
-                                     std::vector<double>& buffer);
+                                     std::vector<double>& buffer,
+                                     SampleMode mode = SampleMode::exact);
 
     [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
     [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }

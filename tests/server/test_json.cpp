@@ -298,6 +298,26 @@ TEST(Wire, SchedulingFieldsParseAndValidate) {
                  InvalidInput);
 }
 
+TEST(Wire, FastMathFieldIsAlwaysPinned) {
+    // Tolerant-reader default: an absent fast_math field means exact mode,
+    // and the decoded job always pins the flag (never nullopt/inherit) so
+    // one client's fast_math job can never change the mode a later exact
+    // job in the same service evaluates under.
+    const WireJob plain = parse_wire_job(
+        JsonValue::parse(R"({"job":"deviations","deviations":[-5,5]})"));
+    ASSERT_TRUE(plain.job.fast_math.has_value());
+    EXPECT_FALSE(*plain.job.fast_math);
+    const WireJob fast = parse_wire_job(JsonValue::parse(
+        R"({"job":"deviations","version":3,"deviations":[-5,5],"fast_math":true})"));
+    ASSERT_TRUE(fast.job.fast_math.has_value());
+    EXPECT_TRUE(*fast.job.fast_math);
+    // Present but not a boolean is malformed, not silently defaulted.
+    EXPECT_THROW(
+        (void)parse_wire_job(JsonValue::parse(
+            R"({"job":"deviations","deviations":[1],"fast_math":1})")),
+        InvalidInput);
+}
+
 TEST(Wire, UniverseKeyIsContentAddressedAndRangeFree) {
     // The whole-job cache key half: the same full universe spelled as an
     // explicit list or a grid hashes identically, and the member range is

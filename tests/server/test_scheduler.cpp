@@ -373,6 +373,49 @@ TEST(JobScheduler, RunningJobCancelsCooperativelyKeepsOrder) {
     (void)drain(again);
 }
 
+TEST(JobScheduler, FastMathJobsNeverShareCacheEntriesWithExact) {
+    SweepService service(make_pipeline(), {.workers = 2, .shard_size = 4});
+    JobScheduler sched(service, JobScheduler::Options{});
+
+    // Exact job, then the identical universe under fast_math: the job
+    // cache key embeds the effective mode, so the second submit must run
+    // for real — serving it from the exact entry would hand a client
+    // signatures from the wrong mode.
+    const std::string exact_line =
+        R"({"job":"deviations","grid":{"from":-10,"to":10,"count":9}})";
+    const std::string fast_line =
+        R"({"job":"deviations","grid":{"from":-10,"to":10,"count":9},"fast_math":true})";
+    JobHandle exact = sched.submit(wire_job(exact_line));
+    const std::vector<SweepResult> exact_ref = drain(exact);
+    ASSERT_EQ(exact_ref.size(), 9u);
+
+    JobHandle fast = sched.submit(wire_job(fast_line));
+    EXPECT_FALSE(fast.from_cache());
+    const std::vector<SweepResult> fast_ref = drain(fast);
+    ASSERT_EQ(fast_ref.size(), 9u);
+    EXPECT_EQ(fast.outcome().state, JobState::done);
+
+    // Within one mode, replay works as usual — and each mode replays its
+    // own stream bit for bit.
+    JobHandle exact_again = sched.submit(wire_job(exact_line));
+    EXPECT_TRUE(exact_again.from_cache());
+    expect_same_stream(drain(exact_again), exact_ref, "exact replay");
+    JobHandle fast_again = sched.submit(wire_job(fast_line));
+    EXPECT_TRUE(fast_again.from_cache());
+    expect_same_stream(drain(fast_again), fast_ref, "fast_math replay");
+
+    wait_for([&] { return sched.stats().completed >= 4; });
+    EXPECT_EQ(sched.stats().cache_hits, 2u);
+
+    // Wire jobs always pin the mode, so an exact job queued behind the
+    // fast_math one evaluates exact — the fast job's mode never leaks.
+    JobHandle after = sched.submit(wire_job(
+        R"({"job":"deviations","grid":{"from":-10,"to":10,"count":10}})"));
+    EXPECT_FALSE(after.from_cache());
+    EXPECT_EQ(drain(after).size(), 10u);
+    EXPECT_FALSE(service.pipeline().options().fast_math);
+}
+
 TEST(JobScheduler, VerifySerialRunsOnTheDispatcherThread) {
     SweepService service(make_pipeline(), {.workers = 2, .shard_size = 4});
     JobScheduler sched(service, JobScheduler::Options{});
